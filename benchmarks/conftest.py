@@ -1,0 +1,56 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper at
+laptop scale.  Sizes scale with ``REPRO_BENCH_SCALE`` (default 1; the
+paper-scale runs used A100-class hardware and hours of compute):
+
+* RQ1 unitaries:    6 * scale   (paper: 1000)
+* RQ3 circuits:     8 * scale   (paper: 187)
+* RQ2 angles:      10 * scale   (paper: 1000)
+
+Results are printed and also written to ``benchmarks/results/`` so the
+EXPERIMENTS.md comparison can be refreshed from artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def rq1_result():
+    from repro.experiments.rq1_random_unitaries import run_rq1
+
+    return run_rq1(
+        n_unitaries=6 * SCALE,
+        seed=11,
+        include_annealing=True,
+        annealing_time_limit=3.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def suite_cases():
+    from repro.bench_circuits import benchmark_suite
+
+    return benchmark_suite(limit=8 * SCALE, max_qubits=12)
+
+
+@pytest.fixture(scope="session")
+def rq3_results(suite_cases):
+    from repro.experiments.rq3_circuits import run_rq3
+
+    return run_rq3(suite_cases, seed=13, fidelity_max_qubits=12)

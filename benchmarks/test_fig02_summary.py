@@ -1,0 +1,27 @@
+"""Figure 2: headline reduction ratios across the benchmark suite.
+
+Paper: T-count geomean 1.38x (max 3.5x), Clifford geomean 2.44x (max
+7x), infidelity improvement geomean 2.07x at logical rate 1e-5.
+"""
+
+from conftest import write_result
+
+from repro.experiments.reporting import format_table
+from repro.experiments.rq3_circuits import figure2_summary
+
+
+def test_fig02_headline_ratios(benchmark, rq3_results):
+    def run():
+        return figure2_summary(rq3_results)
+
+    fig2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[k, round(v, 3)] for k, v in fig2.items()]
+    table = format_table(["metric", "value"], rows)
+    text = (
+        "FIGURE 2: headline gridsynth/trasyn reduction ratios\n" + table
+        + "\npaper: T geomean 1.38 (max 3.5); Clifford geomean 2.44 (max 7)"
+    )
+    write_result("fig02_summary", text)
+    assert fig2["t_ratio_geomean"] > 1.0
+    assert fig2["clifford_ratio_geomean"] > 1.0
+    assert fig2["clifford_ratio_geomean"] > fig2["t_ratio_geomean"] * 0.9

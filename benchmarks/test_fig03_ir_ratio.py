@@ -1,0 +1,34 @@
+"""Figure 3(b): ratio of Rz-IR to U3-IR rotation counts per benchmark.
+
+Paper shape: ratios range from 1.0 to ~2.5 across the suite; many
+circuits offer merge opportunities, so most ratios exceed 1.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.experiments.ir_comparison import run_ir_comparison
+from repro.experiments.reporting import format_table, geomean
+
+
+def test_fig03b_rotation_ratio(benchmark, suite_cases):
+    def run():
+        return run_ir_comparison(suite_cases)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (r.name, r.category, r.best("rz"), r.best("u3"), round(r.ratio, 3))
+        for r in results
+    ]
+    ratios = [r.ratio for r in results]
+    table = format_table(
+        ["circuit", "category", "rz rot", "u3 rot", "ratio"], rows
+    )
+    text = (
+        "FIGURE 3(b): Rz/U3 rotation-count ratio\n" + table
+        + f"\ngeomean ratio {geomean(ratios):.3f}, max {max(ratios):.2f}"
+        + "\npaper shape: ratios in [1.0, 2.5], most above 1"
+    )
+    write_result("fig03_ir_ratio", text)
+    assert max(ratios) > 1.1, "no merge opportunities found"
+    assert all(r >= 1.0 - 1e-9 for r in ratios)

@@ -1,0 +1,36 @@
+"""Figure 6: which transpile setting yields the fewest rotations.
+
+Paper shape: the U3 IR with the commutation pass wins most circuits;
+the commutation pass is what unlocks the U3 advantage.
+"""
+
+from conftest import write_result
+
+from repro.experiments.ir_comparison import figure6_counts, run_ir_comparison
+from repro.experiments.reporting import format_table
+
+
+def test_fig06_best_settings(benchmark, suite_cases):
+    def run():
+        results = run_ir_comparison(suite_cases)
+        return results, figure6_counts(results)
+
+    results, tally = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (basis, level, comm, count)
+        for (basis, level, comm), count in sorted(tally.items())
+        if count > 0
+    ]
+    table = format_table(["basis", "level", "commutation", "wins"], rows)
+    u3_wins = sum(v for (b, _, _), v in tally.items() if b == "u3")
+    rz_wins = sum(v for (b, _, _), v in tally.items() if b == "rz")
+    comm_wins = sum(v for (_, _, c), v in tally.items() if c)
+    text = (
+        "FIGURE 6: winning transpile settings (ties share the win)\n"
+        + table
+        + f"\nU3-basis wins {u3_wins}, Rz-basis wins {rz_wins}, "
+        + f"with-commutation wins {comm_wins}"
+        + "\npaper shape: U3 + commutation dominates"
+    )
+    write_result("fig06_transpile_settings", text)
+    assert u3_wins >= rz_wins, "U3 IR should win at least as often"

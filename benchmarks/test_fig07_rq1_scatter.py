@@ -1,0 +1,35 @@
+"""Figure 7: synthesis error vs T count and Clifford count (RQ1).
+
+Paper shape: at matched error levels trasyn uses ~1/3 the T gates and
+~1/6 the Cliffords of gridsynth (three Rz calls per U3); the annealing
+baseline (Synthetiq) fails at tight thresholds.
+"""
+
+from conftest import write_result
+
+from repro.experiments.reporting import format_table
+from repro.experiments.rq1_random_unitaries import summarize
+
+
+def test_fig07_error_vs_t_count(benchmark, rq1_result):
+    def run():
+        return summarize(rq1_result)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["method", "eps", "mean T", "mean Cliff", "mean err", "mean s", "n_ok"],
+        rows,
+    )
+    failures = rq1_result.failures("synthetiq")
+    text = (
+        "FIGURE 7 (RQ1): synthesis error vs T/Clifford count\n"
+        + table
+        + f"\nsynthetiq timeouts per eps: {failures}"
+        + "\npaper shape: trasyn T ~ gridsynth T / 3 at equal error;"
+        + " synthetiq fails at eps <= 0.01"
+    )
+    write_result("fig07_rq1_scatter", text)
+    tra = {r[1]: r for r in rows if r[0] == "trasyn"}
+    grid = {r[1]: r for r in rows if r[0] == "gridsynth"}
+    for eps in (0.1, 0.01, 0.001):
+        assert grid[eps][2] > 1.8 * tra[eps][2], "T-count advantage lost"

@@ -1,0 +1,44 @@
+"""Figure 9: logical-error / synthesis-error tradeoff (RQ2).
+
+Paper: for each logical rate an optimal synthesis threshold exists
+(U-shaped curves, Fig 9a) and the optimum scales as ~1.22 sqrt(rate)
+(Fig 9b); a threshold of 0.001 suffices for logical rates 1e-6..1e-7.
+"""
+
+from conftest import SCALE, write_result
+
+from repro.experiments.reporting import format_table
+from repro.experiments.rq2_tradeoff import run_rq2
+
+
+def test_fig09_optimal_threshold_scaling(benchmark):
+    def run():
+        return run_rq2(n_angles=10 * SCALE, seed=12)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for i, eps in enumerate(res.thresholds):
+        rows.append(
+            [eps, res.mean_t_counts[i]]
+            + [res.infidelity[i, j] for j in range(len(res.logical_rates))]
+        )
+    table = format_table(
+        ["synth eps", "mean T"]
+        + [f"rate {r:g}" for r in res.logical_rates],
+        rows,
+    )
+    opt = res.optimal_thresholds()
+    c, alpha = res.sqrt_fit()
+    text = (
+        "FIGURE 9 (RQ2): process infidelity vs synthesis threshold\n"
+        + table
+        + f"\noptimal thresholds per rate: "
+        + ", ".join(f"{r:g}->{e:g}" for r, e in sorted(opt.items()))
+        + f"\nfit eps* = {c:.2f} * rate^{alpha:.2f}"
+        + "\npaper: eps* = 1.22 * rate^0.5; eps=0.001 optimal for rates 1e-6..1e-7"
+    )
+    write_result("fig09_tradeoff", text)
+    assert 0.3 < alpha < 0.7, "square-root law lost"
+    # U-shape: optimum for the highest rate is looser than for the lowest.
+    rates = sorted(opt)
+    assert opt[rates[-1]] >= opt[rates[0]]

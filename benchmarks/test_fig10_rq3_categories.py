@@ -1,0 +1,34 @@
+"""Figure 10: T count / T depth / Clifford ratios per category (RQ3).
+
+Paper geomeans: T count 1.64 (QAOA) / 1.46 (quantum Ham) / 1.09
+(classical Ham) / 1.17 (FT algorithms); Clifford ratios 1.75-2.88.
+Quantum Hamiltonians and QAOA benefit most from the U3 IR.
+"""
+
+from conftest import write_result
+
+from repro.experiments.reporting import format_table
+from repro.experiments.rq3_circuits import category_summary
+
+
+def test_fig10_category_ratios(benchmark, rq3_results):
+    def run():
+        return category_summary(rq3_results)
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (cat, int(s["count"]), round(s["t_ratio"], 3),
+         round(s["t_depth_ratio"], 3), round(s["clifford_ratio"], 3))
+        for cat, s in summary.items()
+    ]
+    table = format_table(
+        ["category", "n", "T ratio", "T-depth ratio", "Clifford ratio"], rows
+    )
+    text = (
+        "FIGURE 10 (RQ3): gridsynth/trasyn ratios by category\n" + table
+        + "\npaper geomeans: T 1.64/1.46/1.09/1.17 "
+        + "(qaoa/quantum/classical/ft); Clifford 1.75-2.88"
+    )
+    write_result("fig10_rq3_categories", text)
+    assert summary["all"]["t_ratio"] > 1.0, "trasyn flow must win on T"
+    assert summary["all"]["clifford_ratio"] > 1.0

@@ -1,0 +1,35 @@
+"""Figure 11: absolute circuit infidelities of the trasyn flow (RQ3).
+
+Paper shape: infidelities grow with rotation count (additive error
+accumulation), spanning ~1e-5 to ~1e-1 across the suite.
+"""
+
+from conftest import write_result
+
+from repro.experiments.reporting import format_table
+
+
+def test_fig11_absolute_infidelity(benchmark, rq3_results):
+    def run():
+        return [
+            (r.name, r.n_qubits,
+             r.trasyn_flow.n_rotations,
+             r.trasyn_infidelity,
+             r.trasyn_flow.total_synthesis_error)
+            for r in rq3_results
+            if r.trasyn_infidelity is not None
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["circuit", "qubits", "rotations", "state infid", "err bound"], rows
+    )
+    text = (
+        "FIGURE 11 (RQ3): absolute trasyn-flow circuit infidelity\n" + table
+        + "\npaper shape: infidelity grows with rotation count; bound holds"
+    )
+    write_result("fig11_infidelity", text)
+    for _name, _q, _rot, infid, bound in rows:
+        # Additive synthesis-error bound (errors add at first order; the
+        # quadratic slack covers cross terms).
+        assert infid <= 2 * bound + 1e-6

@@ -1,0 +1,42 @@
+"""Figure 12: trasyn vs BQSKit-style block resynthesis + gridsynth (RQ3).
+
+Paper shape: numerical block re-instantiation *increases* rotation
+counts (generic Euler angles reappear), which in turn costs more T
+gates than the direct trasyn workflow.
+"""
+
+from conftest import SCALE, write_result
+
+from repro.bench_circuits import benchmark_suite
+from repro.experiments.reporting import format_table, geomean
+from repro.experiments.rq3_circuits import run_figure12
+
+
+def test_fig12_resynthesis_comparison(benchmark):
+    cases = benchmark_suite(limit=4 * SCALE, max_qubits=8)
+
+    def run():
+        return run_figure12(cases, base_eps=0.01, seed=14)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (r.name, r.rotations_direct, r.rotations_resynth,
+         round(r.rotation_ratio, 2), r.t_direct, r.t_resynth,
+         round(r.t_ratio, 2))
+        for r in results
+    ]
+    table = format_table(
+        ["circuit", "rot direct", "rot resynth", "rot ratio",
+         "T trasyn", "T resynth+grid", "T ratio"],
+        rows,
+    )
+    text = (
+        "FIGURE 12 (RQ3): trasyn vs BQSKit-style resynthesis+gridsynth\n"
+        + table
+        + f"\ngeomean rotation ratio {geomean([r.rotation_ratio for r in results]):.2f}, "
+        + f"T ratio {geomean([r.t_ratio for r in results]):.2f}"
+        + "\npaper shape: resynthesis inflates rotations and T count"
+    )
+    write_result("fig12_bqskit", text)
+    assert geomean([r.rotation_ratio for r in results]) >= 0.95
+    assert geomean([r.t_ratio for r in results]) > 1.0

@@ -1,0 +1,32 @@
+"""Table 1: T-count and Clifford-count reductions at eps = 0.001 (RQ1).
+
+Paper: T-count reduction min 2.31x / geomean 3.74x / max 6.12x;
+Clifford reduction min 3.39x / geomean 5.73x / max 9.41x.
+"""
+
+from conftest import write_result
+
+from repro.experiments.reporting import format_table
+
+
+def test_tab01_reduction_statistics(benchmark, rq1_result):
+    def run():
+        return rq1_result.table1(eps=0.001)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [metric] + [stats[metric][k] for k in ("min", "mean", "geomean",
+                                               "median", "max")]
+        for metric in ("t_count", "clifford_count")
+    ]
+    table = format_table(
+        ["reduction", "min", "mean", "geomean", "median", "max"], rows
+    )
+    text = (
+        "TABLE 1 (RQ1): gridsynth/trasyn reductions at eps=0.001\n"
+        + table
+        + "\npaper: T geomean 3.74x (2.31-6.12); Clifford geomean 5.73x (3.39-9.41)"
+    )
+    write_result("tab01_reductions", text)
+    assert stats["t_count"]["geomean"] > 2.0
+    assert stats["clifford_count"]["geomean"] > 2.0

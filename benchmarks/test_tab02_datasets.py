@@ -1,0 +1,43 @@
+"""Table 2: benchmark-suite qubit/rotation statistics.
+
+Paper envelope: Benchpress 2-395 qubits / 1-1531 rotations, Hamlib
+2-592 / 5-3875, QAOA 4-26 / 6-209.  Our generated analogue keeps the
+category structure and the 4-26 qubit QAOA envelope at laptop scale.
+"""
+
+from conftest import write_result
+
+from repro.bench_circuits import full_suite, suite_statistics
+from repro.experiments.reporting import format_table
+
+
+def test_tab02_suite_statistics(benchmark):
+    def run():
+        cases = full_suite()
+        return cases, suite_statistics(cases)
+
+    cases, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            cat, int(s["count"]),
+            int(s["qubits_min"]), round(s["qubits_mean"], 1),
+            int(s["qubits_max"]),
+            int(s["rotations_min"]), round(s["rotations_mean"], 1),
+            int(s["rotations_max"]),
+        ]
+        for cat, s in stats.items()
+    ]
+    table = format_table(
+        ["category", "n", "q min", "q mean", "q max",
+         "rot min", "rot mean", "rot max"],
+        rows,
+    )
+    text = (
+        "TABLE 2: dataset statistics (187 circuits)\n" + table
+        + "\npaper: QAOA 4-26 qubits; suite mixes FT algorithms, "
+        + "quantum/classical Hamiltonians, QAOA"
+    )
+    write_result("tab02_datasets", text)
+    assert len(cases) == 187
+    qaoa = stats["qaoa"]
+    assert qaoa["qubits_min"] >= 4 and qaoa["qubits_max"] <= 26

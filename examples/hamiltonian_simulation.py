@@ -1,0 +1,46 @@
+"""Fault-tolerant compilation of a Trotterized TFIM simulation.
+
+Builds exp(-iHt) for the transverse-field Ising chain, compiles it
+through both workflows, and verifies the end-to-end state fidelity of
+the synthesized Clifford+T circuit against the ideal evolution.
+
+    python examples/hamiltonian_simulation.py
+"""
+
+import numpy as np
+
+from repro.bench_circuits.hamiltonians import tfim_terms
+from repro.circuits import rotation_count
+from repro.experiments.workflows import (
+    matched_thresholds,
+    synthesize_circuit_gridsynth,
+    synthesize_circuit_trasyn,
+)
+from repro.paulis import trotter_circuit
+
+rng = np.random.default_rng(5)
+n = 6
+terms = tfim_terms(n, j=1.0, h=0.8)
+circuit = trotter_circuit(terms, time=0.9, steps=2)
+circuit.name = f"tfim_n{n}"
+print(f"TFIM chain, {n} qubits, {len(terms)} Hamiltonian terms, "
+      f"2 Trotter steps -> {len(circuit)} gates")
+
+u3_circ, rz_circ, eps_t, eps_g = matched_thresholds(circuit, base_eps=0.008)
+print(f"rotations: U3 IR {rotation_count(u3_circ)} "
+      f"vs Rz IR {rotation_count(rz_circ)} "
+      "(weight-1 X fields merge into coupling gadgets)")
+
+tra = synthesize_circuit_trasyn(u3_circ, eps_t, rng, pre_transpiled=True)
+grid = synthesize_circuit_gridsynth(rz_circ, eps_g, pre_transpiled=True)
+
+psi_ideal = circuit.statevector()
+for label, flow in (("trasyn/U3", tra), ("gridsynth/Rz", grid)):
+    psi = flow.circuit.statevector()
+    infidelity = 1.0 - abs(np.vdot(psi_ideal, psi)) ** 2
+    print(f"{label:14} T={flow.t_count:4d}  Clifford={flow.clifford_count:4d} "
+          f" state infidelity={infidelity:.2e}")
+
+print()
+print(f"T-count reduction: {grid.t_count / tra.t_count:.2f}x "
+      "(paper: quantum Hamiltonians ~1.46x geomean)")

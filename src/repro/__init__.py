@@ -1,0 +1,44 @@
+"""repro: reproduction of "Reducing T Gates with Unitary Synthesis".
+
+The package implements trasyn — tensor-network-guided synthesis of
+arbitrary single-qubit unitaries into Clifford+T — together with every
+substrate the paper's evaluation rests on: a Ross-Selinger gridsynth
+baseline, exact Clifford+T enumeration, a quantum-circuit IR and
+transpiler, benchmark circuit generators, noisy simulators, and
+post-synthesis optimizers.
+
+Quickstart::
+
+    import numpy as np
+    from repro import trasyn, gridsynth_u3, haar_random_u2
+
+    u = haar_random_u2(np.random.default_rng(0))
+    ours = trasyn(u, error_threshold=0.01)
+    baseline = gridsynth_u3(u, 0.01)
+    print(ours.t_count, "T gates vs", baseline.t_count)
+"""
+
+from repro.circuits import Circuit
+from repro.enumeration import build_table, get_table
+from repro.linalg import haar_random_u2, rz, trace_distance, u3
+from repro.synthesis import GateSequence, synthesize, trasyn
+from repro.synthesis.gridsynth import gridsynth_rz, gridsynth_u3
+from repro.transpiler import transpile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "GateSequence",
+    "build_table",
+    "get_table",
+    "gridsynth_rz",
+    "gridsynth_u3",
+    "haar_random_u2",
+    "rz",
+    "synthesize",
+    "trace_distance",
+    "transpile",
+    "trasyn",
+    "u3",
+]

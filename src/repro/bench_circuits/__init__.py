@@ -1,0 +1,37 @@
+"""Benchmark circuit generators: the paper's 187-circuit evaluation suite."""
+
+from repro.bench_circuits.ft_algorithms import (
+    ghz_rotation,
+    grover,
+    qft,
+    qpe,
+    random_su4_circuit,
+    vqe_hea,
+    w_state,
+)
+from repro.bench_circuits.hamiltonians import hamiltonian_circuit
+from repro.bench_circuits.qaoa import qaoa_maxcut
+from repro.bench_circuits.suite import (
+    BenchmarkCase,
+    CATEGORIES,
+    benchmark_suite,
+    full_suite,
+    suite_statistics,
+)
+
+__all__ = [
+    "BenchmarkCase",
+    "CATEGORIES",
+    "benchmark_suite",
+    "full_suite",
+    "ghz_rotation",
+    "grover",
+    "hamiltonian_circuit",
+    "qaoa_maxcut",
+    "qft",
+    "qpe",
+    "random_su4_circuit",
+    "suite_statistics",
+    "vqe_hea",
+    "w_state",
+]

@@ -1,0 +1,155 @@
+"""Fault-tolerant algorithm benchmarks (the Benchpress/QASMBench analogue).
+
+Standard FTQC circuit families with rotation content: QFT, quantum phase
+estimation, Grover iterations with phase-oracle rotations, GHZ states
+with rotation layers, W states (controlled-Ry cascades), variational
+(hardware-efficient) ansatzes, and structured random circuits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits import Circuit
+
+
+def qft(n: int) -> Circuit:
+    """Quantum Fourier transform with controlled-phase ladders."""
+    c = Circuit(n, name=f"qft_n{n}")
+    for i in range(n):
+        c.h(i)
+        for j in range(i + 1, n):
+            c.cp(math.pi / 2 ** (j - i), j, i)
+    for i in range(n // 2):
+        c.swap(i, n - 1 - i)
+    return c
+
+
+def qpe(n_counting: int, phase: float) -> Circuit:
+    """Phase estimation of Rz(2*pi*phase) with ``n_counting`` readout qubits."""
+    n = n_counting + 1
+    c = Circuit(n, name=f"qpe_n{n}")
+    target = n_counting
+    c.x(target)
+    for i in range(n_counting):
+        c.h(i)
+    for i in range(n_counting):
+        c.crz(2.0 * math.pi * phase * 2**i, i, target)
+    inverse_qft = qft(n_counting).inverse()
+    for g in inverse_qft.gates:
+        c.gates.append(g)
+    return c
+
+
+def ghz_rotation(n: int, layers: int, rng: np.random.Generator) -> Circuit:
+    """GHZ preparation followed by random rotation layers."""
+    c = Circuit(n, name=f"ghz_rot_n{n}_l{layers}")
+    c.h(0)
+    for i in range(n - 1):
+        c.cx(i, i + 1)
+    for _ in range(layers):
+        for q in range(n):
+            c.rz(float(rng.uniform(0, 2 * math.pi)), q)
+            c.rx(float(rng.uniform(0, 2 * math.pi)), q)
+        for i in range(0, n - 1, 2):
+            c.cx(i, i + 1)
+    return c
+
+
+def w_state(n: int) -> Circuit:
+    """W state preparation via controlled-Ry cascade."""
+    c = Circuit(n, name=f"w_state_n{n}")
+    c.x(0)
+    for i in range(n - 1):
+        theta = 2.0 * math.acos(math.sqrt(1.0 / (n - i)))
+        c.cry(theta, i, i + 1)
+        c.cx(i + 1, i)
+    return c
+
+
+def vqe_hea(n: int, layers: int, rng: np.random.Generator) -> Circuit:
+    """Hardware-efficient ansatz: Ry-Rz columns + linear entanglement.
+
+    Adjacent axial rotations per wire are exactly the merge opportunity
+    Section 3.4 cites for variational circuits.
+    """
+    c = Circuit(n, name=f"vqe_hea_n{n}_l{layers}")
+    for q in range(n):
+        c.ry(float(rng.uniform(0, 2 * math.pi)), q)
+        c.rz(float(rng.uniform(0, 2 * math.pi)), q)
+    for _ in range(layers):
+        for i in range(n - 1):
+            c.cx(i, i + 1)
+        for q in range(n):
+            c.ry(float(rng.uniform(0, 2 * math.pi)), q)
+            c.rz(float(rng.uniform(0, 2 * math.pi)), q)
+    return c
+
+
+def grover(n: int, iterations: int, rng: np.random.Generator) -> Circuit:
+    """Grover search with a random phase-rotation oracle.
+
+    The oracle marks a random computational state with a Z-phase built
+    from CX ladders and an Rz; the diffuser uses H/X conjugation around
+    the same multi-controlled phase pattern (Toffoli-decomposed).
+    """
+    c = Circuit(n, name=f"grover_n{n}_i{iterations}")
+    marked = int(rng.integers(0, 2**n))
+    for q in range(n):
+        c.h(q)
+    for _ in range(iterations):
+        _phase_oracle(c, n, marked)
+        for q in range(n):
+            c.h(q)
+            c.x(q)
+        _controlled_z_ladder(c, n)
+        for q in range(n):
+            c.x(q)
+            c.h(q)
+    return c
+
+
+def _phase_oracle(c: Circuit, n: int, marked: int) -> None:
+    flips = [q for q in range(n) if not (marked >> q) & 1]
+    for q in flips:
+        c.x(q)
+    _controlled_z_ladder(c, n)
+    for q in flips:
+        c.x(q)
+
+
+def _controlled_z_ladder(c: Circuit, n: int) -> None:
+    """Grover-style phase ladder: CZ for n=2, CCZ for n=3, and a Toffoli
+    cascade for larger registers.
+
+    For n > 3 this is a structural stand-in for C^{n-1}Z (resource
+    benchmarks exercise the same gate families); exactness of the
+    algorithm's amplitude amplification is not required here.
+    """
+    if n == 1:
+        c.z(0)
+        return
+    if n == 2:
+        c.cz(0, 1)
+        return
+    c.h(n - 1)
+    c.ccx(0, 1, n - 1)
+    for i in range(2, n - 1):
+        c.ccx(i - 1, i, n - 1)
+    c.h(n - 1)
+
+
+def random_su4_circuit(n: int, depth: int, rng: np.random.Generator) -> Circuit:
+    """Quantum-volume style circuit: random 1q rotations + CX brickwork."""
+    c = Circuit(n, name=f"random_su4_n{n}_d{depth}")
+    for layer in range(depth):
+        offset = layer % 2
+        for q in range(n):
+            c.rz(float(rng.uniform(0, 2 * math.pi)), q)
+            c.ry(float(rng.uniform(0, 2 * math.pi)), q)
+            c.rz(float(rng.uniform(0, 2 * math.pi)), q)
+        for i in range(offset, n - 1, 2):
+            c.cx(i, i + 1)
+    return c

@@ -1,0 +1,80 @@
+"""QAOA MaxCut circuits with merge-friendly gate ordering (Section 3.4).
+
+For 3-regular MaxCut, each cost layer applies ``CX - Rz(2 gamma) - CX``
+per edge and the mixer applies ``Rx(2 beta)`` per qubit.  Ordering the
+edge gadgets so every qubit's last cost-layer touch is adjacent to its
+mixer rotation lets the commutation pass merge ``Rz . Rx`` pairs into
+single U3 gates — the construction behind the paper's consistent ~1.6x
+T-count gains on QAOA.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits import Circuit
+
+
+def qaoa_maxcut(
+    n: int,
+    depth: int,
+    rng: np.random.Generator,
+    degree: int = 3,
+) -> Circuit:
+    """Depth-p QAOA for MaxCut on a random regular graph."""
+    if n * degree % 2:
+        n += 1  # regular graphs need even n * degree
+    graph = nx.random_regular_graph(degree, n, seed=int(rng.integers(2**31)))
+    c = Circuit(n, name=f"qaoa_n{n}_p{depth}")
+    for q in range(n):
+        c.h(q)
+    for _ in range(depth):
+        gamma = float(rng.uniform(0, np.pi))
+        beta = float(rng.uniform(0, np.pi / 2))
+        # Edge ordering: process edges so that each vertex's final edge
+        # appears as late as possible (sorted pass keeps the last touch
+        # of high-index vertices adjacent to the mixer).
+        edges = _merge_friendly_edge_order(graph)
+        for u, v in edges:
+            c.cx(u, v)
+            c.rz(2.0 * gamma, v)
+            c.cx(u, v)
+        for q in range(n):
+            c.rx(2.0 * beta, q)
+    return c
+
+
+def _merge_friendly_edge_order(graph: nx.Graph) -> list[tuple[int, int]]:
+    """Orient and order edges so every vertex (except one root per
+    component) is first touched as a CX *target*.
+
+    DFS tree edges come first, oriented parent -> child, so the child's
+    first cost gadget has it on the CX target wire; the incoming mixer
+    Rx commutes through the opening CX and merges with the gadget's Rz.
+    Non-tree edges follow (both endpoints already touched, orientation
+    free).  This realizes the paper's "all but one Rx per layer" merge.
+    """
+    tree_edges: list[tuple[int, int]] = []
+    visited: set[int] = set()
+    for root in graph.nodes:
+        if root in visited:
+            continue
+        visited.add(root)
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for v in sorted(graph.neighbors(u)):
+                if v not in visited:
+                    visited.add(v)
+                    tree_edges.append((u, v))  # v is the target
+                    stack.append(u)
+                    stack.append(v)
+                    break
+            else:
+                continue
+    tree_set = {frozenset(e) for e in tree_edges}
+    rest = [
+        tuple(e) for e in graph.edges if frozenset(e) not in tree_set
+    ]
+    return tree_edges + rest

@@ -1,0 +1,221 @@
+"""The 187-circuit benchmark suite (Table 2 analogue).
+
+Category structure mirrors the paper's sources:
+
+* ``ft_algorithm``        — Benchpress/QASMBench-style FT algorithms,
+* ``quantum_hamiltonian`` — Hamlib-style X/Y/Z Trotter circuits,
+* ``classical_hamiltonian`` — Z-only (Ising/MaxCut) Trotter circuits,
+* ``qaoa``                — 3-regular MaxCut QAOA, depths 1-5, 4-26 qubits.
+
+Circuits that are trivial to synthesize (no nontrivial rotations after
+transpilation) are excluded, as in the paper.  The full suite holds
+exactly 187 circuits; ``benchmark_suite(limit=...)`` provides stratified
+subsets for laptop-scale runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench_circuits import ft_algorithms as ft
+from repro.bench_circuits import hamiltonians as ham
+from repro.bench_circuits.qaoa import qaoa_maxcut
+from repro.circuits import Circuit, rotation_count
+
+CATEGORIES = (
+    "ft_algorithm",
+    "quantum_hamiltonian",
+    "classical_hamiltonian",
+    "qaoa",
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One suite entry: a circuit plus its provenance."""
+
+    name: str
+    category: str
+    circuit: Circuit
+
+    @property
+    def n_qubits(self) -> int:
+        return self.circuit.n_qubits
+
+    @property
+    def n_rotations(self) -> int:
+        return rotation_count(self.circuit)
+
+
+def _ft_cases(rng: np.random.Generator) -> list[BenchmarkCase]:
+    cases = []
+    for n in (3, 4, 5, 6, 7, 8, 10, 12, 14, 16):
+        cases.append(BenchmarkCase(f"qft_n{n}", "ft_algorithm", ft.qft(n)))
+    for n, phase in (
+        (3, 0.137), (4, 0.311), (5, 0.713), (6, 0.177), (7, 0.457),
+        (8, 0.291), (9, 0.613), (10, 0.843), (11, 0.129), (12, 0.527),
+    ):
+        cases.append(
+            BenchmarkCase(f"qpe_n{n}", "ft_algorithm", ft.qpe(n, phase))
+        )
+    for n in (4, 6, 8, 10, 12, 14, 16):
+        for layers in (1, 2):
+            cases.append(
+                BenchmarkCase(
+                    f"ghz_rot_n{n}_l{layers}",
+                    "ft_algorithm",
+                    ft.ghz_rotation(n, layers, rng),
+                )
+            )
+    for n in (4, 8, 12):
+        cases.append(
+            BenchmarkCase(
+                f"ghz_rot_n{n}_l3", "ft_algorithm", ft.ghz_rotation(n, 3, rng)
+            )
+        )
+    for n in (4, 6, 8, 10, 12, 14):
+        cases.append(BenchmarkCase(f"w_state_n{n}", "ft_algorithm", ft.w_state(n)))
+    for n in (4, 6, 8, 10, 12, 14):
+        for layers in (1, 2):
+            cases.append(
+                BenchmarkCase(
+                    f"vqe_hea_n{n}_l{layers}",
+                    "ft_algorithm",
+                    ft.vqe_hea(n, layers, rng),
+                )
+            )
+    for n in (4, 8):
+        cases.append(
+            BenchmarkCase(
+                f"vqe_hea_n{n}_l3", "ft_algorithm", ft.vqe_hea(n, 3, rng)
+            )
+        )
+    for n, iters in ((3, 1), (4, 1), (5, 2)):
+        cases.append(
+            BenchmarkCase(f"grover_n{n}", "ft_algorithm", ft.grover(n, iters, rng))
+        )
+    for n in (4, 6, 8, 10, 12, 14):
+        cases.append(
+            BenchmarkCase(
+                f"random_su4_n{n}", "ft_algorithm", ft.random_su4_circuit(n, 4, rng)
+            )
+        )
+    for n in (4, 6, 8):
+        cases.append(
+            BenchmarkCase(
+                f"random_su4_n{n}_d6",
+                "ft_algorithm",
+                ft.random_su4_circuit(n, 6, rng),
+            )
+        )
+    return cases
+
+
+def _hamiltonian_cases(rng: np.random.Generator) -> list[BenchmarkCase]:
+    cases = []
+    quantum_sizes = {
+        "tfim": (2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 18, 20),
+        "heisenberg": (2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 18, 20),
+        "xy": (2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20),
+        "random_pauli": (3, 4, 5, 6, 8, 10, 12, 14, 16, 18, 20, 24),
+    }
+    for kind, sizes in quantum_sizes.items():
+        for n in sizes:
+            circuit = ham.hamiltonian_circuit(kind, n, rng)
+            cases.append(
+                BenchmarkCase(circuit.name, "quantum_hamiltonian", circuit)
+            )
+    # Two Trotter steps for a subset (longer circuits, Table 2 max).
+    for kind, sizes in (
+        ("tfim", (6, 10, 14)),
+        ("heisenberg", (6, 10, 14)),
+        ("xy", (6, 10)),
+        ("random_pauli", (6, 10)),
+    ):
+        for n in sizes:
+            circuit = ham.hamiltonian_circuit(kind, n, rng, steps=2)
+            circuit.name += "_s2"
+            cases.append(
+                BenchmarkCase(circuit.name, "quantum_hamiltonian", circuit)
+            )
+    classical_sizes = {
+        "ising": (3, 4, 5, 6, 8, 10, 12, 14, 16, 20, 24, 26),
+        "maxcut": (4, 6, 8, 10, 12, 14, 16, 18, 20, 24, 26, 28),
+    }
+    for kind, sizes in classical_sizes.items():
+        for n in sizes:
+            circuit = ham.hamiltonian_circuit(kind, n, rng)
+            cases.append(
+                BenchmarkCase(circuit.name, "classical_hamiltonian", circuit)
+            )
+    return cases
+
+
+def _qaoa_cases(rng: np.random.Generator) -> list[BenchmarkCase]:
+    cases = []
+    for depth in (1, 2, 3, 4, 5):
+        for n in (4, 6, 8, 10, 12, 16, 20, 26):
+            circuit = qaoa_maxcut(n, depth, rng)
+            cases.append(
+                BenchmarkCase(f"qaoa_n{n}_p{depth}", "qaoa", circuit)
+            )
+    return cases
+
+
+def full_suite(seed: int = 20260322) -> list[BenchmarkCase]:
+    """All 187 benchmark circuits (deterministic given the seed)."""
+    rng = np.random.default_rng(seed)
+    cases = _ft_cases(rng) + _hamiltonian_cases(rng) + _qaoa_cases(rng)
+    cases = [c for c in cases if c.n_rotations > 0]
+    if len(cases) != 187:
+        raise AssertionError(
+            f"suite size drifted: {len(cases)} != 187 — update generators"
+        )
+    return cases
+
+
+def benchmark_suite(
+    limit: int | None = None,
+    max_qubits: int | None = None,
+    categories: tuple[str, ...] | None = None,
+    seed: int = 20260322,
+) -> list[BenchmarkCase]:
+    """Stratified subset of the suite for time-bounded runs."""
+    cases = full_suite(seed)
+    if categories:
+        cases = [c for c in cases if c.category in categories]
+    if max_qubits is not None:
+        cases = [c for c in cases if c.n_qubits <= max_qubits]
+    if limit is None or limit >= len(cases):
+        return cases
+    # Round-robin across categories, smallest circuits first.
+    by_cat: dict[str, list[BenchmarkCase]] = {}
+    for c in sorted(cases, key=lambda c: c.n_rotations):
+        by_cat.setdefault(c.category, []).append(c)
+    picked: list[BenchmarkCase] = []
+    while len(picked) < limit and any(by_cat.values()):
+        for cat in list(by_cat):
+            if by_cat[cat] and len(picked) < limit:
+                picked.append(by_cat[cat].pop(0))
+    return picked
+
+
+def suite_statistics(cases: list[BenchmarkCase]) -> dict[str, dict[str, float]]:
+    """Table-2 style qubit/rotation statistics per category."""
+    stats: dict[str, dict[str, float]] = {}
+    for cat in CATEGORIES:
+        group = [c for c in cases if c.category == cat]
+        if not group:
+            continue
+        qubits = [c.n_qubits for c in group]
+        rots = [c.n_rotations for c in group]
+        stats[cat] = {
+            "count": len(group),
+            "qubits_min": min(qubits), "qubits_mean": float(np.mean(qubits)),
+            "qubits_max": max(qubits),
+            "rotations_min": min(rots), "rotations_mean": float(np.mean(rots)),
+            "rotations_max": max(rots),
+        }
+    return stats

@@ -1,0 +1,25 @@
+"""Quantum circuit intermediate representation and resource metrics."""
+
+from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.drawing import draw
+from repro.circuits.metrics import (
+    clifford_count,
+    is_trivial_angle,
+    rotation_count,
+    t_count,
+    t_depth,
+)
+from repro.circuits.qasm import from_qasm, to_qasm
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "clifford_count",
+    "draw",
+    "from_qasm",
+    "is_trivial_angle",
+    "rotation_count",
+    "t_count",
+    "t_depth",
+    "to_qasm",
+]

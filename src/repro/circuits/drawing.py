@@ -1,0 +1,60 @@
+"""ASCII circuit rendering for quick inspection in terminals and docs."""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+
+
+def draw(circuit: Circuit, max_columns: int = 120) -> str:
+    """Render the circuit as fixed-width wire art.
+
+    Columns are packed greedily: a gate starts a new column only when it
+    overlaps a qubit already used in the current column.
+    """
+    columns: list[list] = [[]]
+    used: set[int] = set()
+    for g in circuit.gates:
+        span = set(range(min(g.qubits), max(g.qubits) + 1))
+        if used & span:
+            columns.append([])
+            used = set()
+        columns[-1].append(g)
+        used |= span
+
+    labels = []
+    for g_list in columns:
+        col = {}
+        for g in g_list:
+            col.update(_gate_cells(g))
+        labels.append(col)
+
+    width = max((max(len(v) for v in col.values()) for col in labels if col),
+                default=1)
+    lines = []
+    for q in range(circuit.n_qubits):
+        parts = [f"q{q}: "]
+        for col in labels:
+            cell = col.get(q, "─" * width)
+            parts.append(cell.center(width, "─"))
+            parts.append("─")
+        line = "".join(parts)
+        lines.append(line[: max_columns])
+    return "\n".join(lines)
+
+
+def _gate_cells(g) -> dict[int, str]:
+    if len(g.qubits) == 1:
+        name = g.name.upper()
+        if g.params:
+            name += f"({g.params[0]:.2f})" if len(g.params) == 1 else "(..)"
+        return {g.qubits[0]: f"[{name}]"}
+    a, b = g.qubits
+    if g.name == "cx":
+        cells = {a: "●", b: "⊕"}
+    elif g.name == "cz":
+        cells = {a: "●", b: "●"}
+    else:  # swap
+        cells = {a: "x", b: "x"}
+    for q in range(min(a, b) + 1, max(a, b)):
+        cells.setdefault(q, "│")
+    return cells

@@ -1,0 +1,64 @@
+"""Resource metrics from the paper's evaluation section.
+
+* ``t_count``   — number of T/Tdg gates.
+* ``t_depth``   — T count along the critical path (paper metric (2)).
+* ``clifford_count`` — single-qubit non-Pauli Cliffords: H, S, Sdg.
+  Paulis are free in error-corrected execution, and the two-qubit
+  skeleton (CX/CZ/SWAP) is identical across synthesis workflows, so the
+  comparison metric tracks the 1q Clifford cost the synthesizers control.
+* ``rotation_count`` — "nontrivial" rotations: angles that are not
+  integer multiples of pi/4 (those need substantial T sequences; exact
+  multiples synthesize with at most one T — paper footnote 3).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import ROTATION_GATES, Circuit, Gate
+
+_T_NAMES = frozenset({"t", "tdg"})
+_CLIFFORD_NAMES = frozenset({"h", "s", "sdg"})
+_QUARTER = math.pi / 4.0
+
+
+def t_count(circuit: Circuit) -> int:
+    return sum(1 for g in circuit.gates if g.name in _T_NAMES)
+
+
+def t_depth(circuit: Circuit) -> int:
+    """T gates on the critical path (longest chain through the DAG)."""
+    depths = [0] * circuit.n_qubits
+    for g in circuit.gates:
+        d = max(depths[q] for q in g.qubits)
+        if g.name in _T_NAMES:
+            d += 1
+        for q in g.qubits:
+            depths[q] = d
+    return max(depths, default=0)
+
+
+def clifford_count(circuit: Circuit) -> int:
+    return sum(1 for g in circuit.gates if g.name in _CLIFFORD_NAMES)
+
+
+def is_trivial_angle(theta: float, tol: float = 1e-9) -> bool:
+    """True when theta is an integer multiple of pi/4 (<= one T gate)."""
+    return abs(math.remainder(theta, _QUARTER)) <= tol
+
+
+def _gate_is_nontrivial_rotation(gate: Gate, tol: float) -> bool:
+    if gate.name not in ROTATION_GATES:
+        return False
+    if gate.name in ("rx", "ry", "rz"):
+        return not is_trivial_angle(gate.params[0], tol)
+    # u3: trivial only if all three Euler angles are pi/4 multiples (a
+    # conservative proxy for "is a Clifford+T word with <= 1 T").
+    return not all(is_trivial_angle(p, tol) for p in gate.params)
+
+
+def rotation_count(circuit: Circuit, tol: float = 1e-9) -> int:
+    """Number of rotations that require genuine Clifford+T synthesis."""
+    return sum(
+        1 for g in circuit.gates if _gate_is_nontrivial_rotation(g, tol)
+    )

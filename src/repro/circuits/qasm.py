@@ -1,0 +1,113 @@
+"""OpenQASM 2.0 interchange for the circuit IR.
+
+Supports the gate vocabulary of :mod:`repro.circuits.circuit` plus the
+aliases common in exported FT circuits (``p``/``u1`` as Rz up to phase,
+``u``/``U`` as U3).  This is the interop boundary a downstream user
+needs to feed their own circuits into the synthesis workflows.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuits.circuit import Circuit
+
+_EXPORT_NAMES = {
+    "i": "id", "h": "h", "s": "s", "sdg": "sdg", "t": "t", "tdg": "tdg",
+    "x": "x", "y": "y", "z": "z", "rx": "rx", "ry": "ry", "rz": "rz",
+    "u3": "u3", "cx": "cx", "cz": "cz", "swap": "swap",
+}
+_IMPORT_NAMES = {v: k for k, v in _EXPORT_NAMES.items()}
+_IMPORT_NAMES.update({"u": "u3", "U": "u3", "p": "rz", "u1": "rz", "id": "i"})
+
+_GATE_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(?:\(([^)]*)\))?\s+(.+?)\s*;\s*$"
+)
+_QUBIT_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\[(\d+)\]$")
+
+
+class QASMError(ValueError):
+    """Raised for unsupported or malformed QASM input."""
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialize a circuit as OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.n_qubits}];",
+    ]
+    for g in circuit.gates:
+        name = _EXPORT_NAMES.get(g.name)
+        if name is None:
+            raise QASMError(f"gate {g.name!r} has no QASM export")
+        params = (
+            "(" + ",".join(repr(p) for p in g.params) + ")" if g.params else ""
+        )
+        qubits = ",".join(f"q[{q}]" for q in g.qubits)
+        lines.append(f"{name}{params} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse the supported OpenQASM 2.0 subset back into a circuit."""
+    n_qubits = None
+    register = None
+    gates: list[tuple[str, tuple[int, ...], tuple[float, ...]]] = []
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(("OPENQASM", "include")):
+            continue
+        if line.startswith("qreg"):
+            m = re.match(r"qreg\s+([A-Za-z_][A-Za-z0-9_]*)\[(\d+)\]\s*;", line)
+            if not m:
+                raise QASMError(f"bad qreg line: {raw!r}")
+            if n_qubits is not None:
+                raise QASMError("multiple qregs are not supported")
+            register, n_qubits = m.group(1), int(m.group(2))
+            continue
+        if line.startswith(("creg", "barrier", "measure")):
+            continue
+        m = _GATE_RE.match(line)
+        if not m:
+            raise QASMError(f"cannot parse line: {raw!r}")
+        qasm_name, params_text, qubits_text = m.groups()
+        name = _IMPORT_NAMES.get(qasm_name)
+        if name is None:
+            raise QASMError(f"unsupported gate {qasm_name!r}")
+        params = tuple(
+            _eval_param(p) for p in params_text.split(",")
+        ) if params_text else ()
+        qubits = []
+        for qt in qubits_text.split(","):
+            qm = _QUBIT_RE.match(qt.strip())
+            if not qm or qm.group(1) != register:
+                raise QASMError(f"bad qubit reference {qt!r}")
+            qubits.append(int(qm.group(2)))
+        if qasm_name in ("p", "u1"):
+            # p/u1 equal Rz up to global phase: fine for synthesis flows.
+            params = (params[0],)
+        gates.append((name, tuple(qubits), params))
+    if n_qubits is None:
+        raise QASMError("no qreg declaration found")
+    circuit = Circuit(n_qubits)
+    for name, qubits, params in gates:
+        circuit.append(name, qubits, params)
+    return circuit
+
+
+_PARAM_TOKEN = re.compile(r"^[0-9eE+\-.*/() ]*$")
+
+
+def _eval_param(text: str) -> float:
+    """Evaluate a numeric QASM parameter (numbers, pi arithmetic)."""
+    text = text.strip().replace("pi", repr(math.pi))
+    if not _PARAM_TOKEN.match(text):
+        raise QASMError(f"unsupported parameter expression {text!r}")
+    try:
+        return float(eval(text, {"__builtins__": {}}, {}))
+    except Exception as exc:
+        raise QASMError(f"cannot evaluate parameter {text!r}") from exc

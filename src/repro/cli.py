@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+synth-rz     Synthesize one Rz(theta) rotation with gridsynth.
+synth-u3     Synthesize an arbitrary unitary (three Euler angles) with trasyn.
+compile      Compile an OpenQASM 2.0 file through a synthesis workflow.
+catalog      Print the Clifford+T enumeration summary for a T budget.
+estimate     Surface-code resource estimate for an OpenQASM file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_synth_rz(args: argparse.Namespace) -> int:
+    from repro.synthesis.gridsynth import gridsynth_rz
+
+    seq = gridsynth_rz(args.theta, args.eps)
+    print(f"error    : {seq.error:.3e}")
+    print(f"T count  : {seq.t_count}")
+    print(f"Clifford : {seq.clifford_count}")
+    print("gates    :", " ".join(seq.gates))
+    return 0
+
+
+def _cmd_synth_u3(args: argparse.Namespace) -> int:
+    from repro.linalg import u3
+    from repro.synthesis import trasyn
+
+    target = u3(args.theta, args.phi, args.lam)
+    seq = trasyn(target, error_threshold=args.eps,
+                 rng=np.random.default_rng(args.seed))
+    print(f"error    : {seq.error:.3e}")
+    print(f"T count  : {seq.t_count}")
+    print(f"Clifford : {seq.clifford_count}")
+    print("gates    :", " ".join(seq.gates))
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.circuits import t_count, t_depth, clifford_count
+    from repro.circuits.qasm import from_qasm, to_qasm
+    from repro.experiments.workflows import (
+        synthesize_circuit_gridsynth,
+        synthesize_circuit_trasyn,
+    )
+
+    with open(args.input) as f:
+        circuit = from_qasm(f.read())
+    rng = np.random.default_rng(args.seed)
+    if args.workflow == "trasyn":
+        result = synthesize_circuit_trasyn(circuit, args.eps, rng)
+    else:
+        result = synthesize_circuit_gridsynth(circuit, args.eps)
+    out = result.circuit
+    print(f"rotations synthesized : {result.n_rotations}")
+    print(f"T count               : {t_count(out)}")
+    print(f"T depth               : {t_depth(out)}")
+    print(f"Clifford count        : {clifford_count(out)}")
+    print(f"synthesis error bound : {result.total_synthesis_error:.3e}")
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(to_qasm(out))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.enumeration import expected_unique_count, get_table
+
+    table = get_table(args.budget)
+    print(f"unique Clifford+T matrices with T <= {args.budget}: {len(table)}")
+    print(f"theoretical 24*(3*2^t-2): {expected_unique_count(args.budget)}")
+    for t, size in enumerate(table.level_sizes()):
+        print(f"  T={t}: {size}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.circuits.qasm import from_qasm
+    from repro.resources import estimate_resources
+
+    with open(args.input) as f:
+        circuit = from_qasm(f.read())
+    est = estimate_resources(circuit, args.budget)
+    print(est.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synth-rz", help="gridsynth one Rz rotation")
+    p.add_argument("--theta", type=float, required=True)
+    p.add_argument("--eps", type=float, default=1e-3)
+    p.set_defaults(func=_cmd_synth_rz)
+
+    p = sub.add_parser("synth-u3", help="trasyn an arbitrary unitary")
+    p.add_argument("--theta", type=float, required=True)
+    p.add_argument("--phi", type=float, default=0.0)
+    p.add_argument("--lam", type=float, default=0.0)
+    p.add_argument("--eps", type=float, default=1e-2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_synth_u3)
+
+    p = sub.add_parser("compile", help="compile an OpenQASM 2.0 circuit")
+    p.add_argument("input")
+    p.add_argument("--workflow", choices=("trasyn", "gridsynth"),
+                   default="trasyn")
+    p.add_argument("--eps", type=float, default=0.007)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("catalog", help="Clifford+T enumeration summary")
+    p.add_argument("--budget", type=int, default=6)
+    p.set_defaults(func=_cmd_catalog)
+
+    p = sub.add_parser("estimate", help="surface-code resource estimate")
+    p.add_argument("input")
+    p.add_argument("--budget", type=float, default=1e-2,
+                   help="logical error budget")
+    p.set_defaults(func=_cmd_estimate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

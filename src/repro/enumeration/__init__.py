@@ -1,0 +1,10 @@
+"""Exact enumeration of unique Clifford+T unitaries (trasyn step 0)."""
+
+from repro.enumeration.clifford_t import (
+    UnitaryTable,
+    build_table,
+    expected_unique_count,
+    get_table,
+)
+
+__all__ = ["UnitaryTable", "build_table", "expected_unique_count", "get_table"]

@@ -1,0 +1,148 @@
+"""Vectorized exact arithmetic on batches of Z[omega] 2x2 matrices.
+
+A batch is an int64 array of shape (N, 2, 2, 4) holding the omega-basis
+coefficients (a, b, c, d) of every matrix entry (value = a*w^3 + b*w^2 +
+c*w + d), plus an (N,) array of denominator exponents ``k`` (matrix =
+coeffs / sqrt(2)^k).  All operations are exact; no floats are involved
+until :func:`batch_to_complex`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gates.exact import ExactUnitary
+from repro.rings.zomega import ZOmega
+
+_OMEGA_POWERS = np.array(
+    [np.exp(1j * math.pi / 4) ** p for p in (3, 2, 1, 0)], dtype=complex
+)
+
+
+def zmul(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Product of Z[omega] elements held in trailing-4 coefficient axes."""
+    a, b, c, d = (x[..., i] for i in range(4))
+    e, f, g, h = (y[..., i] for i in range(4))
+    return np.stack(
+        [
+            a * h + b * g + c * f + d * e,
+            b * h + c * g + d * f - a * e,
+            c * h + d * g - a * f - b * e,
+            d * h - a * g - b * f - c * e,
+        ],
+        axis=-1,
+    )
+
+
+def omega_shift(x: np.ndarray) -> np.ndarray:
+    """Multiply by omega: (a, b, c, d) -> (b, c, d, -a)."""
+    return np.stack([x[..., 1], x[..., 2], x[..., 3], -x[..., 0]], axis=-1)
+
+
+def mul_sqrt2(x: np.ndarray) -> np.ndarray:
+    """Multiply by sqrt(2) = w - w^3: (a,b,c,d) -> (b-d, a+c, b+d, c-a)."""
+    a, b, c, d = (x[..., i] for i in range(4))
+    return np.stack([b - d, a + c, b + d, c - a], axis=-1)
+
+
+def div_sqrt2(x: np.ndarray) -> np.ndarray:
+    """Exact division by sqrt(2); caller must ensure divisibility."""
+    return mul_sqrt2(x) // 2
+
+
+def divisible_by_sqrt2(x: np.ndarray) -> np.ndarray:
+    """Elementwise divisibility test, reduced over matrix entries.
+
+    Input (N, 2, 2, 4); output (N,) bool — True when *all four* entries
+    of the matrix are divisible by sqrt(2).
+    """
+    ac = (x[..., 0] + x[..., 2]) % 2 == 0
+    bd = (x[..., 1] + x[..., 3]) % 2 == 0
+    return (ac & bd).reshape(x.shape[0], -1).all(axis=1)
+
+
+def exact_to_coeffs(u: ExactUnitary) -> tuple[np.ndarray, int]:
+    """Convert an ExactUnitary to a (2, 2, 4) coefficient array and k."""
+    m = np.empty((2, 2, 4), dtype=np.int64)
+    for idx, e in zip(((0, 0), (0, 1), (1, 0), (1, 1)), u.entries()):
+        m[idx] = (e.a, e.b, e.c, e.d)
+    return m, u.k
+
+
+def coeffs_to_exact(coeffs: np.ndarray, k: int) -> ExactUnitary:
+    """Inverse of :func:`exact_to_coeffs`."""
+    zs = [
+        ZOmega(int(coeffs[i, j, 0]), int(coeffs[i, j, 1]),
+               int(coeffs[i, j, 2]), int(coeffs[i, j, 3]))
+        for i in (0, 1)
+        for j in (0, 1)
+    ]
+    return ExactUnitary(zs[0], zs[1], zs[2], zs[3], int(k))
+
+
+def left_multiply(gate: ExactUnitary, coeffs: np.ndarray, karr: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Left-multiply a batch by a fixed exact gate: G @ M for every M."""
+    g, gk = exact_to_coeffs(gate)
+    out = np.empty_like(coeffs)
+    for i in (0, 1):
+        for j in (0, 1):
+            out[:, i, j] = zmul(g[i, 0], coeffs[:, 0, j]) + zmul(
+                g[i, 1], coeffs[:, 1, j]
+            )
+    return out, karr + gk
+
+
+def reduce_batch(coeffs: np.ndarray, karr: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Divide out common sqrt(2) factors per matrix (lowest terms)."""
+    coeffs = coeffs.copy()
+    karr = karr.copy()
+    while True:
+        mask = (karr > 0) & divisible_by_sqrt2(coeffs)
+        if not mask.any():
+            return coeffs, karr
+        coeffs[mask] = div_sqrt2(coeffs[mask])
+        karr[mask] -= 1
+
+
+def canonical_keys(coeffs: np.ndarray, karr: np.ndarray) -> list[bytes]:
+    """Per-matrix keys identifying matrices up to global phase omega^j.
+
+    Matrices must already be in lowest terms.  The key is ``k`` plus the
+    lexicographically smallest flattened coefficient tuple over the
+    eight phase rotations, encoded order-preservingly as bytes.
+    """
+    n = coeffs.shape[0]
+    flat = coeffs.reshape(n, 16)
+    variants = np.empty((8, n, 16), dtype=np.int64)
+    variants[0] = flat
+    cur = coeffs
+    for j in range(1, 8):
+        cur = omega_shift(cur)
+        variants[j] = cur.reshape(n, 16)
+    # Order-preserving byte encoding: shift to unsigned, big-endian.  The
+    # bound is fixed so keys are comparable across independent batches.
+    bound = 2**30
+    if int(np.abs(variants).max(initial=0)) >= bound:
+        raise OverflowError("coefficients exceed the encodable range")
+    enc = (variants + bound).astype(">u4")
+    as_bytes = np.ascontiguousarray(enc).view("S64")[..., 0]
+    smallest = as_bytes[0]
+    for j in range(1, 8):
+        cand = as_bytes[j]
+        smaller = cand < smallest
+        if smaller.any():
+            smallest = np.where(smaller, cand, smallest)
+    karr8 = karr.astype(np.uint8)
+    smallest_list = smallest.tolist()
+    return [bytes([karr8[i]]) + smallest_list[i] for i in range(n)]
+
+
+def batch_to_complex(coeffs: np.ndarray, karr: np.ndarray) -> np.ndarray:
+    """Convert an exact batch to float matrices (N, 2, 2) complex."""
+    vals = coeffs @ _OMEGA_POWERS
+    scale = math.sqrt(2.0) ** (-karr.astype(float))
+    return vals * scale[:, None, None]

@@ -1,0 +1,17 @@
+"""Experiment harness: one module per research question in the paper."""
+
+from repro.experiments.workflows import (
+    SynthesizedCircuit,
+    best_transpile,
+    matched_thresholds,
+    synthesize_circuit_gridsynth,
+    synthesize_circuit_trasyn,
+)
+
+__all__ = [
+    "SynthesizedCircuit",
+    "best_transpile",
+    "matched_thresholds",
+    "synthesize_circuit_gridsynth",
+    "synthesize_circuit_trasyn",
+]

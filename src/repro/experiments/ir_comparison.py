@@ -1,0 +1,69 @@
+"""IR comparison: Rz vs U3 rotation counts (Figures 3(b) and 6).
+
+Every suite circuit is transpiled into both IRs under all 16 settings
+(4 optimization levels x commutation on/off x 2 bases); Figure 3(b)
+reports the per-circuit ratio of best-Rz to best-U3 rotation counts,
+and Figure 6 counts how often each setting achieves the minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench_circuits import BenchmarkCase
+from repro.circuits import rotation_count
+from repro.transpiler import transpile
+
+SETTINGS = [
+    (basis, level, comm)
+    for basis in ("rz", "u3")
+    for level in (0, 1, 2, 3)
+    for comm in (False, True)
+]
+
+
+@dataclass
+class IRComparisonCase:
+    name: str
+    category: str
+    counts: dict[tuple[str, int, bool], int]
+
+    def best(self, basis: str) -> int:
+        return min(v for (b, _, _), v in self.counts.items() if b == basis)
+
+    @property
+    def ratio(self) -> float:
+        """Rz-to-U3 rotation ratio (>= 1 favours the U3 IR)."""
+        return self.best("rz") / max(1, self.best("u3"))
+
+    def best_settings(self) -> list[tuple[str, int, bool]]:
+        overall = min(self.counts.values())
+        return [k for k, v in self.counts.items() if v == overall]
+
+
+def run_ir_comparison(cases: list[BenchmarkCase]) -> list[IRComparisonCase]:
+    out = []
+    for case in cases:
+        counts = {}
+        for basis, level, comm in SETTINGS:
+            lowered = transpile(
+                case.circuit, basis=basis, optimization_level=level,
+                commutation=comm,
+            )
+            counts[(basis, level, comm)] = rotation_count(lowered)
+        out.append(
+            IRComparisonCase(name=case.name, category=case.category,
+                             counts=counts)
+        )
+    return out
+
+
+def figure6_counts(
+    results: list[IRComparisonCase],
+) -> dict[tuple[str, int, bool], int]:
+    """How often each transpile setting attains the minimum (Figure 6)."""
+    tally = {k: 0 for k in SETTINGS}
+    for case in results:
+        for key in case.best_settings():
+            tally[key] += 1
+    return tally

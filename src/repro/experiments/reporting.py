@@ -1,0 +1,59 @@
+"""Plain-text table/series rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def ratio_summary(ratios: Sequence[float]) -> dict[str, float]:
+    arr = np.asarray([r for r in ratios if np.isfinite(r)], dtype=float)
+    if arr.size == 0:
+        return {"min": math.nan, "mean": math.nan, "geomean": math.nan,
+                "median": math.nan, "max": math.nan}
+    return {
+        "min": float(arr.min()),
+        "mean": float(arr.mean()),
+        "geomean": geomean(arr),
+        "median": float(np.median(arr)),
+        "max": float(arr.max()),
+    }
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(items):
+        return "  ".join(s.ljust(w) for s, w in zip(items, widths))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in cells])
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e5:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * len(title))
+    print(title)
+    print("=" * len(title))

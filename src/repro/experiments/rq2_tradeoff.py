@@ -1,0 +1,84 @@
+"""RQ2: the synthesis-error / logical-error tradeoff (Figure 9).
+
+Random Rz gates are decomposed with gridsynth under synthesis thresholds
+from 1e-1 to 1e-5; each sequence is then evaluated as a noisy channel
+with depolarizing logical errors on T gates only (the paper's most
+conservative model).  For every logical rate there is an optimal
+synthesis threshold; fitting optimal-threshold vs logical-rate exposes
+the square-root relationship of Figure 9(b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linalg import rz
+from repro.sim.fidelity import sequence_process_infidelity
+from repro.synthesis.gridsynth import gridsynth_rz
+
+DEFAULT_THRESHOLDS = tuple(10.0**e for e in (-1, -1.5, -2, -2.5, -3, -3.5, -4))
+DEFAULT_LOGICAL_RATES = (1e-7, 1e-6, 1e-5, 1e-4, 1e-3)
+
+
+@dataclass
+class RQ2Result:
+    thresholds: tuple[float, ...]
+    logical_rates: tuple[float, ...]
+    # infidelity[i][j]: mean process infidelity at thresholds[i], rates[j]
+    infidelity: np.ndarray
+    mean_t_counts: np.ndarray
+
+    def optimal_thresholds(self) -> dict[float, float]:
+        """argmin over synthesis threshold per logical rate (Fig 9a)."""
+        out = {}
+        for j, rate in enumerate(self.logical_rates):
+            i = int(np.argmin(self.infidelity[:, j]))
+            out[rate] = self.thresholds[i]
+        return out
+
+    def sqrt_fit(self) -> tuple[float, float]:
+        """Fit optimal_eps = c * rate^alpha; returns (c, alpha).
+
+        The paper's Figure 9(b) reports eps* ~ 1.22 sqrt(rate), i.e.
+        alpha ~ 0.5.
+        """
+        opt = self.optimal_thresholds()
+        rates = np.array(sorted(opt))
+        eps = np.array([opt[r] for r in rates])
+        coeffs = np.polyfit(np.log(rates), np.log(eps), 1)
+        alpha = float(coeffs[0])
+        c = float(math.exp(coeffs[1]))
+        return c, alpha
+
+
+def run_rq2(
+    n_angles: int = 30,
+    seed: int = 2,
+    thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
+    logical_rates: tuple[float, ...] = DEFAULT_LOGICAL_RATES,
+) -> RQ2Result:
+    rng = np.random.default_rng(seed)
+    angles = rng.uniform(0.15, 2 * math.pi - 0.15, size=n_angles)
+    infid = np.zeros((len(thresholds), len(logical_rates)))
+    tmeans = np.zeros(len(thresholds))
+    for i, eps in enumerate(thresholds):
+        sequences = []
+        for theta in angles:
+            seq = gridsynth_rz(float(theta), eps)
+            sequences.append((seq, rz(float(theta))))
+        tmeans[i] = float(np.mean([s.t_count for s, _ in sequences]))
+        for j, rate in enumerate(logical_rates):
+            vals = [
+                sequence_process_infidelity(seq.gates, target, rate)
+                for seq, target in sequences
+            ]
+            infid[i, j] = float(np.mean(vals))
+    return RQ2Result(
+        thresholds=tuple(thresholds),
+        logical_rates=tuple(logical_rates),
+        infidelity=infid,
+        mean_t_counts=tmeans,
+    )

@@ -1,0 +1,182 @@
+"""RQ3: circuit-level comparison of the trasyn and gridsynth workflows.
+
+Regenerates Figure 10 (T count / T depth / Clifford ratios by category),
+Figure 11 (absolute circuit infidelities), Figure 12 (vs the
+BQSKit-style block-resynthesis flow), and the Figure 2 aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench_circuits import BenchmarkCase
+from repro.circuits import rotation_count
+from repro.experiments.reporting import geomean
+from repro.experiments.workflows import (
+    DEFAULT_EPS,
+    SynthesizedCircuit,
+    _SequenceCache,
+    matched_thresholds,
+    synthesize_circuit_gridsynth,
+    synthesize_circuit_trasyn,
+)
+from repro.optimizers import resynthesize
+
+
+@dataclass
+class CircuitComparison:
+    name: str
+    category: str
+    n_qubits: int
+    trasyn_flow: SynthesizedCircuit
+    gridsynth_flow: SynthesizedCircuit
+    trasyn_infidelity: float | None = None
+    gridsynth_infidelity: float | None = None
+
+    @property
+    def t_ratio(self) -> float:
+        return self.gridsynth_flow.t_count / max(1, self.trasyn_flow.t_count)
+
+    @property
+    def t_depth_ratio(self) -> float:
+        return self.gridsynth_flow.t_depth / max(1, self.trasyn_flow.t_depth)
+
+    @property
+    def clifford_ratio(self) -> float:
+        return self.gridsynth_flow.clifford_count / max(
+            1, self.trasyn_flow.clifford_count
+        )
+
+
+def _state_infidelity(case_circuit, synthesized, max_qubits: int) -> float | None:
+    if case_circuit.n_qubits > max_qubits:
+        return None
+    psi_true = case_circuit.statevector()
+    psi = synthesized.statevector()
+    return float(max(0.0, 1.0 - abs(np.vdot(psi_true, psi)) ** 2))
+
+
+def run_rq3(
+    cases: list[BenchmarkCase],
+    base_eps: float = DEFAULT_EPS,
+    seed: int = 3,
+    fidelity_max_qubits: int = 16,
+) -> list[CircuitComparison]:
+    rng = np.random.default_rng(seed)
+    tra_cache = _SequenceCache()
+    grid_cache = _SequenceCache()
+    out = []
+    for case in cases:
+        u3_circ, rz_circ, eps_t, eps_g = matched_thresholds(
+            case.circuit, base_eps
+        )
+        tra = synthesize_circuit_trasyn(
+            u3_circ, eps_t, rng, cache=tra_cache, pre_transpiled=True
+        )
+        grid = synthesize_circuit_gridsynth(
+            rz_circ, eps_g, cache=grid_cache, pre_transpiled=True
+        )
+        comp = CircuitComparison(
+            name=case.name, category=case.category,
+            n_qubits=case.n_qubits, trasyn_flow=tra, gridsynth_flow=grid,
+        )
+        comp.trasyn_infidelity = _state_infidelity(
+            case.circuit, tra.circuit, fidelity_max_qubits
+        )
+        comp.gridsynth_infidelity = _state_infidelity(
+            case.circuit, grid.circuit, fidelity_max_qubits
+        )
+        out.append(comp)
+    return out
+
+
+def category_summary(results: list[CircuitComparison]) -> dict[str, dict[str, float]]:
+    """Figure 10 aggregates: geomean ratios per category."""
+    summary = {}
+    for cat in sorted({r.category for r in results}):
+        group = [r for r in results if r.category == cat]
+        summary[cat] = {
+            "count": len(group),
+            "t_ratio": geomean([r.t_ratio for r in group]),
+            "t_depth_ratio": geomean([r.t_depth_ratio for r in group]),
+            "clifford_ratio": geomean([r.clifford_ratio for r in group]),
+        }
+    summary["all"] = {
+        "count": len(results),
+        "t_ratio": geomean([r.t_ratio for r in results]),
+        "t_depth_ratio": geomean([r.t_depth_ratio for r in results]),
+        "clifford_ratio": geomean([r.clifford_ratio for r in results]),
+    }
+    return summary
+
+
+def figure2_summary(results: list[CircuitComparison]) -> dict[str, float]:
+    """Figure 2 headline numbers: geomean and max reduction ratios."""
+    infid_ratios = [
+        r.gridsynth_infidelity / r.trasyn_infidelity
+        for r in results
+        if r.trasyn_infidelity and r.gridsynth_infidelity
+        and r.trasyn_infidelity > 1e-12
+    ]
+    return {
+        "t_ratio_geomean": geomean([r.t_ratio for r in results]),
+        "t_ratio_max": max(r.t_ratio for r in results),
+        "clifford_ratio_geomean": geomean([r.clifford_ratio for r in results]),
+        "clifford_ratio_max": max(r.clifford_ratio for r in results),
+        "infidelity_ratio_geomean": geomean(infid_ratios) if infid_ratios else float("nan"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: trasyn vs BQSKit+gridsynth
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ResynthComparison:
+    name: str
+    rotations_direct: int
+    rotations_resynth: int
+    t_direct: int
+    t_resynth: int
+
+    @property
+    def rotation_ratio(self) -> float:
+        return self.rotations_resynth / max(1, self.rotations_direct)
+
+    @property
+    def t_ratio(self) -> float:
+        return self.t_resynth / max(1, self.t_direct)
+
+
+def run_figure12(
+    cases: list[BenchmarkCase],
+    base_eps: float = DEFAULT_EPS,
+    seed: int = 4,
+) -> list[ResynthComparison]:
+    """Compare the trasyn flow against block-resynthesis + gridsynth."""
+    rng = np.random.default_rng(seed)
+    tra_cache = _SequenceCache()
+    grid_cache = _SequenceCache()
+    out = []
+    for case in cases:
+        u3_circ, _, eps_t, _ = matched_thresholds(case.circuit, base_eps)
+        tra = synthesize_circuit_trasyn(
+            u3_circ, eps_t, rng, cache=tra_cache, pre_transpiled=True
+        )
+        blocked = resynthesize(case.circuit)
+        _, rz_circ2, _, eps_g2 = matched_thresholds(blocked, base_eps)
+        grid = synthesize_circuit_gridsynth(
+            rz_circ2, eps_g2, cache=grid_cache, pre_transpiled=True
+        )
+        out.append(
+            ResynthComparison(
+                name=case.name,
+                rotations_direct=rotation_count(u3_circ),
+                rotations_resynth=rotation_count(rz_circ2),
+                t_direct=tra.t_count,
+                t_resynth=grid.t_count,
+            )
+        )
+    return out

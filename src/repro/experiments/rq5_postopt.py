@@ -1,0 +1,50 @@
+"""RQ5: can a post-synthesis T-count optimizer level the field? (Figure 14)
+
+Both workflows' synthesized Clifford+T circuits are run through the
+phase-folding optimizer (the PyZX stand-in); Figure 14 compares the
+trasyn-vs-gridsynth ratios before and after optimization.  The paper's
+finding — post-optimization cannot reclaim trasyn's T advantage — holds
+because synthesis, not adjacent-phase redundancy, determines T count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits import clifford_count, t_count, t_depth
+from repro.experiments.rq3_circuits import CircuitComparison
+from repro.optimizers import fold_phases
+
+
+@dataclass
+class PostOptComparison:
+    name: str
+    category: str
+    t_ratio_before: float
+    t_ratio_after: float
+    t_depth_ratio_before: float
+    t_depth_ratio_after: float
+    clifford_ratio_before: float
+    clifford_ratio_after: float
+
+
+def run_rq5(rq3_results: list[CircuitComparison]) -> list[PostOptComparison]:
+    out = []
+    for comp in rq3_results:
+        tra_opt = fold_phases(comp.trasyn_flow.circuit)
+        grid_opt = fold_phases(comp.gridsynth_flow.circuit)
+        out.append(
+            PostOptComparison(
+                name=comp.name,
+                category=comp.category,
+                t_ratio_before=comp.t_ratio,
+                t_ratio_after=t_count(grid_opt) / max(1, t_count(tra_opt)),
+                t_depth_ratio_before=comp.t_depth_ratio,
+                t_depth_ratio_after=t_depth(grid_opt)
+                / max(1, t_depth(tra_opt)),
+                clifford_ratio_before=comp.clifford_ratio,
+                clifford_ratio_after=clifford_count(grid_opt)
+                / max(1, clifford_count(tra_opt)),
+            )
+        )
+    return out

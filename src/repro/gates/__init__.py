@@ -1,0 +1,12 @@
+"""Gate-level definitions: exact Clifford+T matrices and the Clifford group."""
+
+from repro.gates.cliffords import CliffordElement, clifford_matrices, cliffords
+from repro.gates.exact import EXACT_GATES, ExactUnitary
+
+__all__ = [
+    "CliffordElement",
+    "EXACT_GATES",
+    "ExactUnitary",
+    "clifford_matrices",
+    "cliffords",
+]

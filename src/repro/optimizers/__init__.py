@@ -1,0 +1,13 @@
+"""Post-synthesis circuit optimizers: the PyZX and BQSKit substitutes."""
+
+from repro.optimizers.kak import KAKDecomposition, kak_decompose
+from repro.optimizers.phase_folding import fold_phases
+from repro.optimizers.resynth import partition_two_qubit_blocks, resynthesize
+
+__all__ = [
+    "KAKDecomposition",
+    "fold_phases",
+    "kak_decompose",
+    "partition_two_qubit_blocks",
+    "resynthesize",
+]

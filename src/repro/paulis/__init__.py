@@ -1,0 +1,6 @@
+"""Pauli strings and Hamiltonian-evolution compilation (Rustiq substitute)."""
+
+from repro.paulis.pauli import PauliString, pauli_matrix
+from repro.paulis.evolution import evolution_circuit, trotter_circuit
+
+__all__ = ["PauliString", "evolution_circuit", "pauli_matrix", "trotter_circuit"]

@@ -1,0 +1,21 @@
+"""Simulators and fidelity metrics for noisy fault-tolerant execution."""
+
+from repro.sim.density_matrix import DensityMatrixSimulator, simulate_noisy
+from repro.sim.fidelity import (
+    process_fidelity_1q,
+    sequence_process_infidelity,
+    state_fidelity,
+    state_infidelity,
+)
+from repro.sim.noise import NoiseModel, depolarizing_kraus
+
+__all__ = [
+    "DensityMatrixSimulator",
+    "NoiseModel",
+    "depolarizing_kraus",
+    "process_fidelity_1q",
+    "sequence_process_infidelity",
+    "simulate_noisy",
+    "state_fidelity",
+    "state_infidelity",
+]

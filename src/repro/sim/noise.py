@@ -1,0 +1,58 @@
+"""Logical-error noise models (paper RQ2/RQ4 setup).
+
+Logical errors are modeled as single-qubit depolarizing channels applied
+after selected gates.  The paper's two settings are both expressible:
+
+* RQ2 (most conservative): errors on T gates only, Cliffords error-free.
+* RQ4: errors on every non-Pauli gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.circuits.circuit import Gate
+
+_PAULIS = (
+    np.array([[0, 1], [1, 0]], dtype=complex),
+    np.array([[0, -1j], [1j, 0]], dtype=complex),
+    np.array([[1, 0], [0, -1]], dtype=complex),
+)
+
+_T_NAMES = frozenset({"t", "tdg"})
+_PAULI_NAMES = frozenset({"i", "x", "y", "z"})
+
+
+def depolarizing_kraus(p: float) -> list[np.ndarray]:
+    """Kraus operators of the 1q depolarizing channel with rate ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("depolarizing rate must be in [0, 1]")
+    ops = [math.sqrt(1.0 - p) * np.eye(2, dtype=complex)]
+    ops.extend(math.sqrt(p / 3.0) * s for s in _PAULIS)
+    return ops
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Depolarizing noise attached to gates matching a predicate."""
+
+    rate: float
+    applies_to: Callable[[Gate], bool]
+
+    @staticmethod
+    def t_gates_only(rate: float) -> "NoiseModel":
+        """RQ2's conservative model: only T gates are noisy."""
+        return NoiseModel(rate, lambda g: g.name in _T_NAMES)
+
+    @staticmethod
+    def non_pauli_gates(rate: float) -> "NoiseModel":
+        """RQ4's model: depolarizing after every non-Pauli gate."""
+        return NoiseModel(rate, lambda g: g.name not in _PAULI_NAMES)
+
+    def noisy_qubits(self, gate: Gate) -> tuple[int, ...]:
+        """Qubits receiving a depolarizing channel after ``gate``."""
+        return gate.qubits if self.applies_to(gate) else ()

@@ -1,0 +1,20 @@
+"""Single-qubit fault-tolerant synthesis algorithms.
+
+The package's primary contribution (:func:`trasyn`) plus every baseline
+the paper evaluates against: gridsynth (number-theoretic Rz synthesis),
+the gridsynth-based U3 workflow, a Synthetiq-style simulated-annealing
+search, and the classic Solovay-Kitaev algorithm.
+"""
+
+from repro.synthesis.sequences import GateSequence, clifford_count_of, t_count_of
+from repro.synthesis.trasyn import TrasynResult, simplify_sequence, synthesize, trasyn
+
+__all__ = [
+    "GateSequence",
+    "TrasynResult",
+    "clifford_count_of",
+    "simplify_sequence",
+    "synthesize",
+    "t_count_of",
+    "trasyn",
+]

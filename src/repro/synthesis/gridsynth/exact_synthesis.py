@@ -1,0 +1,114 @@
+"""Exact synthesis of D[omega] unitaries into Clifford+T words.
+
+Any exactly-representable unitary (entries in Z[omega] / sqrt(2)^k) is a
+Clifford+T circuit; this module recovers a word of near-minimal T count
+by driving the denominator exponent (sde) to zero (Kliuchnikov-Maslov-
+Mosca 2012 / Giles-Selinger style column reduction):
+
+    U = T^{m_1} H  .  T^{m_2} H  .  ...  .  C
+
+At each step the algorithm searches the eight syllables ``T^m H`` for
+one whose inverse application reduces the sde, with a depth-first
+fallback (visited-set memoized) for the residue classes where the sde
+stalls for one step.  At sde 0 the matrix is a monomial phase matrix,
+emitted as (optional) X and a T^m power; global phase is discarded.
+
+The output is verified exactly (up to global phase) before returning,
+so a successful return is mathematically correct, not float-correct.
+"""
+
+from __future__ import annotations
+
+from repro.gates.exact import EXACT_GATES, ExactUnitary
+from repro.rings.zomega import ZOmega
+
+_H = EXACT_GATES["H"]
+_TDG_POWERS: list[ExactUnitary] = []
+_t = ExactUnitary.identity()
+for _ in range(8):
+    _TDG_POWERS.append(_t)
+    _t = (_t @ EXACT_GATES["Tdg"]).reduce()
+del _t
+
+
+class ExactSynthesisError(RuntimeError):
+    """The reduction failed — the input was not a D[omega] unitary."""
+
+
+def t_power_tokens(m: int) -> list[str]:
+    """Minimal token list for the diagonal phase gate T^m (m mod 8)."""
+    m %= 8
+    tokens = []
+    if m >= 4:
+        tokens.append("Z")
+        m -= 4
+    if m >= 2:
+        tokens.append("S")
+        m -= 2
+    if m:
+        tokens.append("T")
+    return tokens
+
+
+def _omega_exponent(z: ZOmega) -> int | None:
+    for j in range(8):
+        if z == ZOmega.omega_power(j):
+            return j
+    return None
+
+
+def _monomial_tokens(u: ExactUnitary) -> list[str]:
+    """Tokens for an sde-0 unitary (always a phase-monomial matrix)."""
+    if not u.z00.is_zero():
+        i = _omega_exponent(u.z00)
+        j = _omega_exponent(u.z11)
+        if i is None or j is None or not u.z01.is_zero() or not u.z10.is_zero():
+            raise ExactSynthesisError("sde-0 matrix is not monomial")
+        return t_power_tokens(j - i)
+    i = _omega_exponent(u.z01)
+    j = _omega_exponent(u.z10)
+    if i is None or j is None or not u.z00.is_zero() or not u.z11.is_zero():
+        raise ExactSynthesisError("sde-0 matrix is not monomial")
+    # U = X . diag(w^j, w^i)
+    return ["X"] + t_power_tokens(i - j)
+
+
+def exact_synthesize(u: ExactUnitary, max_steps: int | None = None) -> list[str]:
+    """Gate tokens (matrix order) whose product equals ``u`` up to phase."""
+    u = u.reduce()
+    if not u.is_unitary():
+        raise ExactSynthesisError("input matrix is not unitary")
+    if max_steps is None:
+        max_steps = 8 * u.k + 64
+
+    tokens: list[str] = []
+    visited: set[tuple] = set()
+    current = u
+    steps = 0
+    while current.k > 0:
+        if steps > max_steps:
+            raise ExactSynthesisError("sde reduction did not terminate")
+        steps += 1
+        visited.add(current.canonical_key())
+        best_m = None
+        best_next = None
+        for m in range(8):
+            cand = (_H @ _TDG_POWERS[m] @ current).reduce()
+            if cand.k >= current.k + 1:
+                continue
+            if cand.k == current.k and cand.canonical_key() in visited:
+                continue
+            if best_next is None or cand.k < best_next.k:
+                best_m, best_next = m, cand
+        if best_next is None:
+            raise ExactSynthesisError("stuck: no syllable reduces the sde")
+        # current = T^m H best_next
+        tokens.extend(t_power_tokens(best_m))
+        tokens.append("H")
+        current = best_next
+    tokens.extend(_monomial_tokens(current))
+
+    produced = ExactUnitary.from_gates(tokens) if tokens else ExactUnitary.identity()
+    if not produced.equals_up_to_phase(u):
+        raise ExactSynthesisError("verification failed")
+    return tokens

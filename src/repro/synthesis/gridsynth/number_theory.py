@@ -1,0 +1,134 @@
+"""Integer number theory for the Diophantine step of gridsynth.
+
+Provides deterministic Miller-Rabin primality (valid far beyond 2^64),
+Pollard-rho factorization with a work bound (the synthesis loop treats a
+factoring timeout as "skip this candidate", exactly like the reference
+gridsynth implementation), and Tonelli-Shanks square roots mod p.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+# Deterministic Miller-Rabin witnesses for n < 3.3 * 10^24.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+
+
+def is_probable_prime(n: int) -> bool:
+    """Miller-Rabin primality test (deterministic for n < 3.3e24)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _pollard_rho(n: int, rng: random.Random, max_steps: int) -> int | None:
+    """One Pollard-rho attempt; returns a nontrivial factor or None."""
+    if n % 2 == 0:
+        return 2
+    c = rng.randrange(1, n)
+    x = rng.randrange(2, n)
+    y = x
+    d = 1
+    steps = 0
+    while d == 1:
+        if steps >= max_steps:
+            return None
+        x = (x * x + c) % n
+        y = (y * y + c) % n
+        y = (y * y + c) % n
+        d = math.gcd(abs(x - y), n)
+        steps += 1
+    return d if d != n else None
+
+
+def factorize(n: int, max_steps: int = 200_000) -> dict[int, int] | None:
+    """Prime factorization of ``n`` as {prime: multiplicity}.
+
+    Returns None when the work bound is exceeded (caller should skip the
+    candidate; the synthesis search simply tries the next grid point).
+    """
+    if n <= 0:
+        raise ValueError("factorize expects a positive integer")
+    rng = random.Random(0xC0FFEE ^ n)
+    factors: dict[int, int] = {}
+    stack = [n]
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        for p in _SMALL_PRIMES:
+            while m % p == 0:
+                factors[p] = factors.get(p, 0) + 1
+                m //= p
+        if m == 1:
+            continue
+        if is_probable_prime(m):
+            factors[m] = factors.get(m, 0) + 1
+            continue
+        d = None
+        for _ in range(8):
+            d = _pollard_rho(m, rng, max_steps)
+            if d is not None:
+                break
+        if d is None:
+            return None
+        stack.append(d)
+        stack.append(m // d)
+    return factors
+
+
+def sqrt_mod_prime(a: int, p: int) -> int | None:
+    """Square root of ``a`` modulo an odd prime ``p`` (Tonelli-Shanks)."""
+    a %= p
+    if a == 0:
+        return 0
+    if p == 2:
+        return a
+    if pow(a, (p - 1) // 2, p) != 1:
+        return None
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+    # Tonelli-Shanks for p = 1 mod 4.
+    q = p - 1
+    s = 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = 2
+    while pow(z, (p - 1) // 2, p) != p - 1:
+        z += 1
+    m, c, t, r = s, pow(z, q, p), pow(a, q, p), pow(a, (q + 1) // 2, p)
+    while t != 1:
+        t2 = t
+        i = 0
+        while t2 != 1:
+            t2 = t2 * t2 % p
+            i += 1
+            if i == m:
+                return None
+        b = pow(c, 1 << (m - i - 1), p)
+        m, c = i, b * b % p
+        t = t * c % p
+        r = r * b % p
+    return r

@@ -1,0 +1,359 @@
+"""trasyn: tensor-network-guided synthesis of arbitrary 1q unitaries.
+
+The four steps of the paper's Section 3.3:
+
+* **Step 0** (:mod:`repro.enumeration`): enumerate unique Clifford+T
+  matrices per T count, with minimal sequences and a lookup table.
+* **Step 1** (:class:`repro.tensornet.TraceMPS`): stack one table slice
+  per tensor slot, attach the target, and canonicalize, so the MPS
+  implicitly holds the trace value of every composite sequence.
+* **Step 2**: perfect sampling from the squared trace values —
+  error-aware sampling whose amplitudes come out for free.
+* **Step 3** (:func:`simplify_sequence`): peephole-replace suboptimal
+  subsequences using the exact lookup table.
+
+:func:`trasyn` is the paper's Algorithm 1: it wraps the single-shot
+:func:`synthesize` in an outer loop over tensor counts and retry
+attempts, optionally stopping at an error threshold (Equation (4)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.enumeration import UnitaryTable, get_table
+from repro.gates.exact import ExactUnitary
+from repro.synthesis.meet import QuaternionIndex, refine_pairs
+from repro.synthesis.sequences import GateSequence, t_count_of
+from repro.tensornet import TraceMPS
+
+DEFAULT_TENSOR_BUDGET = 6
+
+# QuaternionIndex instances are deterministic per table slice; memoize.
+_INDEX_CACHE: dict[tuple[int, int, int], QuaternionIndex] = {}
+
+
+def _slot_index(table: UnitaryTable, lo: int, hi: int) -> QuaternionIndex:
+    key = (id(table), lo, hi)
+    if key not in _INDEX_CACHE:
+        idx = table.indices_for_t_range(lo, hi)
+        _INDEX_CACHE[key] = QuaternionIndex(table.mats[idx])
+    return _INDEX_CACHE[key]
+
+
+def _amp_to_error(amplitude: complex) -> float:
+    """Unitary distance from a trace value Tr(U^dag V) of a 2x2 product."""
+    tv = min(abs(amplitude) / 2.0, 1.0)
+    return math.sqrt(max(0.0, 1.0 - tv * tv))
+
+
+@dataclass(frozen=True)
+class TrasynResult:
+    """Output of one synthesis call, with sampling diagnostics."""
+
+    sequence: GateSequence
+    n_tensors: int
+    samples_drawn: int
+    raw_t_count: int  # before step-3 post-processing
+
+
+def synthesize(
+    target: np.ndarray,
+    t_budgets: list[int | tuple[int, int]],
+    n_samples: int = 1000,
+    rng: np.random.Generator | None = None,
+    table: UnitaryTable | None = None,
+    use_beam: bool = True,
+    postprocess: bool = True,
+    refine: bool = True,
+) -> TrasynResult:
+    """One pass of steps 1-3 for a fixed tensor layout (paper `Synthesize`).
+
+    Parameters
+    ----------
+    target:
+        2x2 unitary to approximate.
+    t_budgets:
+        One entry per tensor slot; an int ``m`` means T counts ``0..m``,
+        a pair ``(lo, hi)`` selects that exact range.
+    n_samples:
+        Number of error-aware samples drawn from the MPS.
+    use_beam:
+        Also run the deterministic beam-search decode and keep the best
+        of both (an extension the tensor representation makes cheap).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    ranges = [(0, b) if isinstance(b, int) else (int(b[0]), int(b[1]))
+              for b in t_budgets]
+    max_hi = max(hi for _, hi in ranges)
+    if table is None:
+        table = get_table(max_hi)
+    if table.budget < max_hi:
+        raise ValueError(
+            f"table budget {table.budget} below requested T budget {max_hi}"
+        )
+    slot_indices = [table.indices_for_t_range(lo, hi) for lo, hi in ranges]
+
+    if len(ranges) == 1:
+        choice, amp = _exhaustive_best(target, table, slot_indices[0])
+        table_indices = [choice]
+        best_amp = amp
+        samples_drawn = 0
+    else:
+        mats = [table.mats[idx] for idx in slot_indices]
+        mps = TraceMPS(target, mats)
+        choices, amps = mps.sample(n_samples, rng)
+        best = int(np.argmax(np.abs(amps)))
+        best_choice, best_amp = choices[best], amps[best]
+        if use_beam:
+            beam_choice, beam_amp = mps.best_first()
+            if abs(beam_amp) > abs(best_amp):
+                best_choice, best_amp = beam_choice, beam_amp
+        best_choice, best_amp = _refine_sweeps(target, mats, best_choice)
+        if refine:
+            indexes = [_slot_index(table, lo, hi) for lo, hi in ranges]
+            best_choice, best_amp = refine_pairs(
+                target, mats, best_choice, indexes
+            )
+        table_indices = [
+            int(slot_indices[i][best_choice[i]]) for i in range(len(ranges))
+        ]
+        samples_drawn = n_samples
+
+    gates: list[str] = []
+    for idx in table_indices:
+        gates.extend(table.sequence(idx))
+    raw_t = t_count_of(gates)
+    if postprocess:
+        gates = simplify_sequence(gates, table)
+    error = _amp_to_error(best_amp)
+    return TrasynResult(
+        sequence=GateSequence(gates=tuple(gates), error=error),
+        n_tensors=len(ranges),
+        samples_drawn=samples_drawn,
+        raw_t_count=raw_t,
+    )
+
+
+def _refine_sweeps(
+    target: np.ndarray,
+    mats: list[np.ndarray],
+    choice: np.ndarray,
+    max_sweeps: int = 8,
+) -> tuple[np.ndarray, complex]:
+    """Alternating per-slot exhaustive improvement of a sampled sequence.
+
+    Holding all slots but one fixed, the best candidate for the free
+    slot maximizes |Tr((R U^dag L) M_s)| — a single vectorized pass over
+    that slot's table slice.  Sweeping until a fixed point polishes the
+    sampled solution to a strong local optimum at negligible cost
+    (the DMRG-flavoured counterpart of the paper's sampling step).
+    """
+    choice = np.array(choice, dtype=np.int64)
+    n_slots = len(mats)
+    udag = target.conj().T
+    best_amp = _amplitude_of(udag, mats, choice)
+    for _ in range(max_sweeps):
+        improved = False
+        for i in range(n_slots):
+            left = np.eye(2, dtype=complex)
+            for j in range(i):
+                left = left @ mats[j][choice[j]]
+            right = np.eye(2, dtype=complex)
+            for j in range(i + 1, n_slots):
+                right = right @ mats[j][choice[j]]
+            env = right @ udag @ left  # Tr(env @ M_s) is the amplitude
+            scores = np.einsum("sij,ji->s", mats[i], env)
+            s = int(np.argmax(np.abs(scores)))
+            if abs(scores[s]) > abs(best_amp) + 1e-12:
+                choice[i] = s
+                best_amp = complex(scores[s])
+                improved = True
+        if not improved:
+            break
+    return choice, best_amp
+
+
+def _amplitude_of(
+    udag: np.ndarray, mats: list[np.ndarray], choice: np.ndarray
+) -> complex:
+    prod = udag.copy()
+    for j, m in enumerate(mats):
+        prod = prod @ m[choice[j]]
+    return complex(np.trace(prod))
+
+
+def _exhaustive_best(
+    target: np.ndarray, table: UnitaryTable, indices: np.ndarray
+) -> tuple[int, complex]:
+    """Single-slot synthesis: the MPS degenerates to a table scan.
+
+    For T budgets within the precomputed table this returns the provably
+    optimal solution (paper RQ1 discussion).
+    """
+    mats = table.mats[indices]
+    amps = np.einsum("nij,ji->n", mats, target.conj().T)
+    order = np.lexsort((table.t_counts[indices], -np.abs(amps)))
+    best = order[0]
+    return int(indices[best]), complex(amps[best])
+
+
+# ---------------------------------------------------------------------------
+# Step 3: exact peephole simplification
+# ---------------------------------------------------------------------------
+
+def simplify_sequence(
+    gates, table: UnitaryTable, max_window_t: int | None = None
+) -> list[str]:
+    """Replace subsequences with cheaper table equivalents (paper step 3).
+
+    Slides windows over the sequence, computes each window's product in
+    exact arithmetic, and substitutes the stored minimal sequence when
+    it improves (T count, Clifford count, length) lexicographically.
+    Repeats until a fixed point.  The whole-sequence matrix is preserved
+    up to global phase.
+    """
+    if max_window_t is None:
+        max_window_t = table.budget
+    gates = list(gates)
+    changed = True
+    while changed:
+        changed = False
+        n = len(gates)
+        i = 0
+        while i < n:
+            window = ExactUnitary.from_gate(gates[i])
+            window_t = 1 if gates[i] in ("T", "Tdg") else 0
+            best_rewrite = None
+            j = i + 1
+            end = i + 1
+            while j < n:
+                g = gates[j]
+                window = window @ ExactUnitary.from_gate(g)
+                window_t += 1 if g in ("T", "Tdg") else 0
+                j += 1
+                if window_t > max_window_t:
+                    break
+                if j - i < 2:
+                    continue
+                idx = table.lookup(window)
+                if idx is None:
+                    continue
+                old_cost = _segment_cost(gates[i:j])
+                new_seq = table.sequence(idx)
+                new_cost = _segment_cost(new_seq)
+                if new_cost < old_cost:
+                    best_rewrite = list(new_seq)
+                    end = j
+            if best_rewrite is not None:
+                gates[i:end] = best_rewrite
+                changed = True
+                n = len(gates)
+            else:
+                i += 1
+    return [g for g in gates if g != "I"]
+
+
+def _segment_cost(gates) -> tuple[int, int, int]:
+    t = sum(1 for g in gates if g in ("T", "Tdg"))
+    cliff = sum(1 for g in gates if g in ("H", "S", "Sdg"))
+    return (t, cliff, len(gates))
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1: the public entry point
+# ---------------------------------------------------------------------------
+
+# Escalating tensor layouts (CPU-scaled stand-in for the paper's A100
+# configuration of three 10-T tensors with 40k samples).  Each entry is a
+# budget list handed to :func:`synthesize`; later entries reach lower
+# errors at higher cost.  Approximate per-layout error floors for Haar
+# targets: 0.09, 7e-3, 2.5e-3, 1e-3, 7e-4.
+DEFAULT_SCHEDULE: tuple[tuple[int, ...], ...] = (
+    (8,),
+    (10, 6),
+    (10, 10),
+    (12, 12),
+    (12, 12, 8),
+)
+
+
+def schedule_for_threshold(error_threshold: float | None) -> list[list[int]]:
+    """Budget-list ladder matched to a target synthesis error."""
+    if error_threshold is None:
+        return [list(b) for b in DEFAULT_SCHEDULE[:3]]
+    # Conservative (90th-percentile) error floors per rung: the rung
+    # listed is only trusted to *reliably* reach its floor, so a given
+    # threshold pulls in one rung deeper than the mean floors suggest.
+    floors = (0.12, 1.2e-2, 4e-3, 1.3e-3, 9e-4)
+    ladder: list[list[int]] = []
+    for budgets, floor in zip(DEFAULT_SCHEDULE, floors):
+        # Skip rungs that essentially never meet the threshold.
+        if floor > 40 * error_threshold:
+            continue
+        ladder.append(list(budgets))
+        if floor <= error_threshold:
+            break
+    if not ladder:
+        ladder.append(list(DEFAULT_SCHEDULE[-1]))
+    return ladder
+
+
+def trasyn(
+    target: np.ndarray,
+    t_budgets: list[int] | None = None,
+    error_threshold: float | None = None,
+    min_tensors: int = 1,
+    attempts: int = 1,
+    n_samples: int = 500,
+    rng: np.random.Generator | None = None,
+    table: UnitaryTable | None = None,
+    schedule: list[list[int]] | None = None,
+) -> GateSequence:
+    """Synthesize ``target`` into Clifford+T (paper Algorithm 1).
+
+    The search walks a ladder of tensor layouts from small T budgets
+    upward, running ``attempts`` sampling rounds per layout.  With an
+    ``error_threshold`` the walk stops as soon as the threshold is met
+    (Equation (4) mode); otherwise every layout is explored and the best
+    sequence wins (Equation (3) mode).
+
+    ``t_budgets`` reproduces the paper interface exactly: the ladder is
+    then ``t_budgets[:min_tensors], ..., t_budgets[:len(t_budgets)]``.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if t_budgets is not None:
+        schedule = [
+            list(t_budgets[:i]) for i in range(min_tensors, len(t_budgets) + 1)
+        ]
+    elif schedule is None:
+        schedule = schedule_for_threshold(error_threshold)
+    if table is None:
+        max_budget = max(_hi(b) for budgets in schedule for b in budgets)
+        table = get_table(max_budget)
+    best: GateSequence | None = None
+    for budgets in schedule:
+        for _ in range(attempts):
+            result = synthesize(
+                target, budgets, n_samples=n_samples, rng=rng, table=table
+            )
+            cand = result.sequence
+            if best is None or _quality(cand) < _quality(best):
+                best = cand
+            if error_threshold is not None and best.error < error_threshold:
+                return best
+    assert best is not None
+    return best
+
+
+def _hi(budget) -> int:
+    return budget if isinstance(budget, int) else int(budget[1])
+
+
+def _quality(seq: GateSequence) -> tuple[float, int, int]:
+    return (seq.error, seq.t_count, seq.clifford_count)

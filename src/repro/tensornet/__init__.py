@@ -1,0 +1,5 @@
+"""Matrix-product-state machinery behind trasyn's search (steps 1-2)."""
+
+from repro.tensornet.mps import TraceMPS
+
+__all__ = ["TraceMPS"]

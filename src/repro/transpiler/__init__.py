@@ -1,0 +1,19 @@
+"""Circuit transpilation passes: the paper's Rz-vs-U3 IR machinery."""
+
+from repro.transpiler.passes import (
+    cancel_inverse_pairs,
+    commute_rotations,
+    decompose_to_rz_basis,
+    merge_1q_runs,
+    snap_trivial_rotations,
+    transpile,
+)
+
+__all__ = [
+    "cancel_inverse_pairs",
+    "commute_rotations",
+    "decompose_to_rz_basis",
+    "merge_1q_runs",
+    "snap_trivial_rotations",
+    "transpile",
+]

@@ -1,0 +1,167 @@
+"""Tests for exact gates, the Clifford group, and step-0 enumeration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enumeration import build_table, expected_unique_count, get_table
+from repro.enumeration import vectorized as vec
+from repro.gates import EXACT_GATES, ExactUnitary, cliffords
+from repro.linalg import GATES, trace_value
+
+
+class TestExactUnitary:
+    def test_gates_match_float(self):
+        for name, exact in EXACT_GATES.items():
+            if name in GATES:
+                assert np.allclose(exact.to_matrix(), GATES[name]), name
+
+    def test_all_exact_gates_unitary(self):
+        for name, exact in EXACT_GATES.items():
+            assert exact.is_unitary(), name
+
+    def test_product_matches_float(self):
+        seq = ("H", "T", "S", "H", "T", "X", "T", "H")
+        exact = ExactUnitary.from_gates(seq)
+        dense = np.eye(2, dtype=complex)
+        for g in seq:
+            dense = dense @ GATES[g]
+        assert np.allclose(exact.to_matrix(), dense)
+
+    def test_canonical_key_phase_invariant(self):
+        u = ExactUnitary.from_gates(("H", "T", "H"))
+        for j in range(8):
+            assert u.scale_phase(j).canonical_key() == u.canonical_key()
+
+    def test_canonical_key_distinguishes(self):
+        a = ExactUnitary.from_gates(("H", "T"))
+        b = ExactUnitary.from_gates(("T", "H"))
+        assert a.canonical_key() != b.canonical_key()
+
+    def test_dagger(self):
+        u = ExactUnitary.from_gates(("H", "T", "S"))
+        prod = (u.dagger() @ u).reduce()
+        assert prod.equals_up_to_phase(ExactUnitary.identity())
+
+    def test_reduce_lowers_k(self):
+        u = ExactUnitary.from_gates(("H", "H"))  # identity at k=2
+        assert u.k == 0
+
+
+class TestCliffordGroup:
+    def test_exactly_24(self):
+        assert len(cliffords()) == 24
+
+    def test_distinct_up_to_phase(self):
+        keys = {c.exact.canonical_key() for c in cliffords()}
+        assert len(keys) == 24
+
+    def test_all_unitary_and_t_free(self):
+        for c in cliffords():
+            assert c.exact.is_unitary()
+            assert "T" not in c.sequence and "Tdg" not in c.sequence
+
+    def test_sequences_reproduce(self):
+        for c in cliffords():
+            rebuilt = ExactUnitary.from_gates(c.sequence)
+            assert rebuilt.equals_up_to_phase(c.exact)
+
+    def test_pauli_cost_zero(self):
+        costs = sorted(c.hs_cost for c in cliffords())
+        assert costs[:4] == [0, 0, 0, 0]  # I, X, Y, Z
+        assert max(costs) <= 3
+
+    def test_group_closure(self):
+        keys = {c.exact.canonical_key() for c in cliffords()}
+        cs = cliffords()
+        for a in cs[:6]:
+            for b in cs[:6]:
+                prod = (a.exact @ b.exact).reduce()
+                assert prod.canonical_key() in keys
+
+
+class TestVectorizedArithmetic:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20)
+    def test_zmul_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(-20, 20, size=(5, 4)).astype(np.int64)
+        y = rng.integers(-20, 20, size=(5, 4)).astype(np.int64)
+        from repro.rings.zomega import ZOmega
+
+        prod = vec.zmul(x, y)
+        for i in range(5):
+            a = ZOmega(*map(int, x[i]))
+            b = ZOmega(*map(int, y[i]))
+            c = a * b
+            assert tuple(map(int, prod[i])) == (c.a, c.b, c.c, c.d)
+
+    def test_omega_shift_is_omega_multiplication(self):
+        from repro.rings.zomega import OMEGA, ZOmega
+
+        x = np.array([[1, -2, 3, 4]], dtype=np.int64)
+        shifted = vec.omega_shift(x)
+        expected = ZOmega(1, -2, 3, 4) * OMEGA
+        assert tuple(map(int, shifted[0])) == (
+            expected.a, expected.b, expected.c, expected.d,
+        )
+
+    def test_div_mul_sqrt2_roundtrip(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(-50, 50, size=(10, 2, 2, 4)).astype(np.int64)
+        assert np.array_equal(vec.div_sqrt2(vec.mul_sqrt2(x)), x)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("budget", [0, 1, 2, 3, 4, 5, 6])
+    def test_count_law(self, budget):
+        table = build_table(budget)
+        assert len(table) == expected_unique_count(budget)
+
+    def test_level_sizes(self):
+        table = build_table(5)
+        sizes = table.level_sizes()
+        assert sizes[0] == 24
+        for t in range(1, 6):
+            assert sizes[t] == 24 * 3 * 2 ** (t - 1)
+
+    def test_sequences_reproduce_matrices(self):
+        table = build_table(4)
+        rng = np.random.default_rng(0)
+        for i in rng.choice(len(table), 40, replace=False):
+            seq = table.sequence(int(i))
+            exact = ExactUnitary.from_gates(seq)
+            assert table.lookup(exact) == int(i)
+            assert trace_value(exact.to_matrix(), table.mats[i]) == pytest.approx(1.0)
+
+    def test_t_counts_match_sequences(self):
+        table = build_table(4)
+        for i in range(0, len(table), 37):
+            seq = table.sequence(i)
+            n_t = sum(1 for g in seq if g in ("T", "Tdg"))
+            assert n_t == table.t_counts[i]
+
+    def test_lookup_miss(self):
+        table = build_table(2)
+        deep = ExactUnitary.from_gates(("H", "T") * 8)
+        # A T-count-8 word may or may not reduce into the table; if the
+        # lookup hits, the stored equivalent must match up to phase.
+        idx = table.lookup(deep)
+        if idx is not None:
+            assert table.exact(idx).equals_up_to_phase(deep)
+
+    def test_indices_for_t_range(self):
+        table = build_table(4)
+        idx = table.indices_for_t_range(2, 3)
+        assert set(np.unique(table.t_counts[idx])) == {2, 3}
+
+    def test_get_table_memoized(self):
+        t1 = get_table(3)
+        t2 = get_table(3)
+        assert t1 is t2
+
+    def test_float_matrices_unitary(self):
+        table = build_table(3)
+        prods = np.einsum("nji,njk->nik", table.mats.conj(), table.mats)
+        assert np.allclose(prods, np.eye(2)[None], atol=1e-9)

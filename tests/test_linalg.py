@@ -1,0 +1,146 @@
+"""Tests for dense single-qubit linear algebra helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    GATES,
+    haar_random_su2,
+    haar_random_u2,
+    is_unitary,
+    normalize_phase,
+    rx,
+    ry,
+    rz,
+    trace_distance,
+    trace_value,
+    u3,
+    zyz_angles,
+)
+
+angles = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestGates:
+    def test_all_gates_unitary(self):
+        for name, g in GATES.items():
+            assert is_unitary(g), name
+
+    def test_h_squared_identity(self):
+        assert np.allclose(GATES["H"] @ GATES["H"], np.eye(2))
+
+    def test_t_squared_is_s(self):
+        assert np.allclose(GATES["T"] @ GATES["T"], GATES["S"])
+
+    def test_s_squared_is_z(self):
+        assert np.allclose(GATES["S"] @ GATES["S"], GATES["Z"])
+
+    def test_dagger_pairs(self):
+        assert np.allclose(GATES["S"] @ GATES["Sdg"], np.eye(2))
+        assert np.allclose(GATES["T"] @ GATES["Tdg"], np.eye(2))
+
+    @given(angles)
+    def test_rotations_unitary(self, theta):
+        for r in (rx, ry, rz):
+            assert is_unitary(r(theta))
+
+    @given(angles, angles)
+    def test_rz_additivity(self, a, b):
+        assert np.allclose(rz(a) @ rz(b), rz(a + b))
+
+    def test_rx_is_h_rz_h(self):
+        theta = 0.731
+        assert np.allclose(GATES["H"] @ rz(theta) @ GATES["H"], rx(theta))
+
+    @given(angles, angles, angles)
+    def test_u3_unitary(self, t, p, l):
+        assert is_unitary(u3(t, p, l))
+
+
+class TestMetrics:
+    @given(seeds)
+    def test_distance_zero_for_self(self, seed):
+        u = haar_random_u2(np.random.default_rng(seed))
+        assert trace_distance(u, u) < 1e-7
+
+    @given(seeds, angles)
+    def test_distance_phase_invariant(self, seed, phase):
+        u = haar_random_u2(np.random.default_rng(seed))
+        v = np.exp(1j * phase) * u
+        assert trace_distance(u, v) < 1e-7
+        assert trace_value(u, v) == pytest.approx(1.0)
+
+    @given(seeds, seeds)
+    @settings(max_examples=30)
+    def test_distance_symmetric_and_bounded(self, s1, s2):
+        u = haar_random_u2(np.random.default_rng(s1))
+        v = haar_random_u2(np.random.default_rng(s2))
+        d1, d2 = trace_distance(u, v), trace_distance(v, u)
+        assert d1 == pytest.approx(d2)
+        assert 0.0 <= d1 <= 1.0
+
+    def test_distance_tracks_rz_angle(self):
+        # For Rz gates: D = |sin(delta/2)|.
+        for delta in (0.01, 0.3, 1.5):
+            d = trace_distance(rz(0.0), rz(delta))
+            assert d == pytest.approx(abs(math.sin(delta / 2)), abs=1e-12)
+
+
+class TestDecompositions:
+    @given(seeds)
+    @settings(max_examples=60)
+    def test_zyz_roundtrip(self, seed):
+        u = haar_random_u2(np.random.default_rng(seed))
+        theta, phi, lam, _ = zyz_angles(u)
+        rebuilt = u3(theta, phi, lam)
+        assert trace_distance(u, rebuilt) < 1e-7
+
+    def test_zyz_diagonal_edge(self):
+        theta, phi, lam, _ = zyz_angles(rz(0.7))
+        assert trace_distance(rz(0.7), u3(theta, phi, lam)) < 1e-7
+
+    def test_zyz_antidiagonal_edge(self):
+        theta, phi, lam, _ = zyz_angles(GATES["X"])
+        assert trace_distance(GATES["X"], u3(theta, phi, lam)) < 1e-7
+
+    def test_paper_equation_1(self):
+        # U3 = phase . Rz(phi + pi/2) H Rz(theta) H Rz(lam - pi/2)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            u = haar_random_u2(rng)
+            theta, phi, lam, _ = zyz_angles(u)
+            rebuilt = (
+                rz(phi + math.pi / 2)
+                @ GATES["H"]
+                @ rz(theta)
+                @ GATES["H"]
+                @ rz(lam - math.pi / 2)
+            )
+            assert trace_distance(u, rebuilt) < 1e-7
+
+
+class TestHaar:
+    def test_su2_determinant_one(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            u = haar_random_su2(rng)
+            det = u[0, 0] * u[1, 1] - u[0, 1] * u[1, 0]
+            assert det == pytest.approx(1.0)
+
+    def test_haar_trace_statistics(self):
+        # E[|Tr U|^2] = 1 for Haar SU(2).
+        rng = np.random.default_rng(1)
+        vals = [abs(np.trace(haar_random_su2(rng))) ** 2 for _ in range(4000)]
+        assert np.mean(vals) == pytest.approx(1.0, abs=0.08)
+
+    def test_normalize_phase_idempotent(self):
+        rng = np.random.default_rng(2)
+        u = haar_random_u2(rng)
+        n1 = normalize_phase(u)
+        assert np.allclose(normalize_phase(n1), n1)
+        assert np.allclose(normalize_phase(1j * u), n1)

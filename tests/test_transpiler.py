@@ -1,0 +1,131 @@
+"""Tests for the transpiler passes (unitary preservation + merge power)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, rotation_count
+from repro.linalg import trace_distance
+from repro.transpiler import (
+    cancel_inverse_pairs,
+    commute_rotations,
+    decompose_to_rz_basis,
+    merge_1q_runs,
+    snap_trivial_rotations,
+    transpile,
+)
+
+
+def _random_circuit(seed: int, n: int = 3, depth: int = 25) -> Circuit:
+    rng = np.random.default_rng(seed)
+    c = Circuit(n)
+    for _ in range(depth):
+        r = rng.random()
+        if r < 0.35:
+            c.append(
+                ["h", "s", "t", "x", "sdg"][int(rng.integers(5))],
+                int(rng.integers(n)),
+            )
+        elif r < 0.7:
+            c.append(
+                ["rz", "rx", "ry"][int(rng.integers(3))],
+                int(rng.integers(n)),
+                (float(rng.uniform(0, 2 * math.pi)),),
+            )
+        else:
+            a, b = rng.choice(n, 2, replace=False)
+            c.cx(int(a), int(b))
+    return c
+
+
+class TestPassSoundness:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_preserves_unitary(self, seed):
+        c = _random_circuit(seed)
+        merged = merge_1q_runs(c)
+        assert trace_distance(c.unitary(), merged.unitary()) < 1e-6
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_commute_preserves_unitary(self, seed):
+        c = _random_circuit(seed)
+        moved = commute_rotations(c)
+        assert trace_distance(c.unitary(), moved.unitary()) < 1e-6
+        assert len(moved) == len(c)  # pure reordering
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_rz_decomposition_preserves_unitary(self, seed):
+        c = _random_circuit(seed)
+        lowered = decompose_to_rz_basis(merge_1q_runs(c))
+        assert trace_distance(c.unitary(), lowered.unitary()) < 1e-6
+        assert all(g.name not in ("rx", "ry", "u3") for g in lowered.gates)
+
+    def test_cancel_inverse_pairs(self):
+        c = Circuit(2).h(0).h(0).cx(0, 1).cx(0, 1).t(0).tdg(0).s(1)
+        out = cancel_inverse_pairs(c)
+        assert [g.name for g in out.gates] == ["s"]
+
+    def test_cancel_rz_pair(self):
+        c = Circuit(1).rz(0.5, 0).rz(-0.5, 0)
+        assert len(cancel_inverse_pairs(c)) == 0
+
+    def test_snap(self):
+        c = Circuit(1).rz(math.pi / 4 + 1e-12, 0).rz(0.3, 0)
+        out = snap_trivial_rotations(c)
+        assert out.gates[0].params[0] == pytest.approx(math.pi / 4)
+        assert out.gates[1].params[0] == pytest.approx(0.3)
+
+
+class TestTranspile:
+    @pytest.mark.parametrize("basis", ["u3", "rz"])
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    def test_all_settings_preserve_unitary(self, basis, level):
+        c = _random_circuit(42)
+        out = transpile(c, basis=basis, optimization_level=level,
+                        commutation=True)
+        assert trace_distance(c.unitary(), out.unitary()) < 1e-6
+
+    def test_u3_basis_gate_set(self):
+        c = _random_circuit(7)
+        out = transpile(c, basis="u3", optimization_level=2)
+        assert all(g.name in ("u3", "cx", "cz", "swap") for g in out.gates)
+
+    def test_rz_basis_gate_set(self):
+        c = _random_circuit(7)
+        out = transpile(c, basis="rz", optimization_level=2)
+        allowed = {"rz", "h", "s", "sdg", "t", "tdg", "x", "y", "z", "i",
+                   "cx", "cz", "swap"}
+        assert all(g.name in allowed for g in out.gates)
+
+    def test_merging_reduces_rotations(self):
+        # Two adjacent axis rotations fuse into one U3.
+        c = Circuit(1).ry(0.7, 0).rz(0.3, 0)
+        out = transpile(c, basis="u3", optimization_level=1)
+        assert rotation_count(out) == 1
+        rz_out = transpile(c, basis="rz", optimization_level=0)
+        assert rotation_count(rz_out) >= 2
+
+    def test_commutation_merges_through_cx(self):
+        # Rx on the CX target commutes through to meet the Rz behind it.
+        c = Circuit(2)
+        c.rx(0.5, 1)
+        c.cx(0, 1)
+        c.rz(0.8, 1)
+        c.cx(0, 1)
+        plain = transpile(c, basis="u3", optimization_level=1)
+        fused = transpile(c, basis="u3", optimization_level=1,
+                          commutation=True)
+        assert rotation_count(fused) < rotation_count(plain)
+        assert trace_distance(c.unitary(), fused.unitary()) < 1e-7
+
+    def test_invalid_args(self):
+        c = Circuit(1)
+        with pytest.raises(ValueError):
+            transpile(c, basis="zz")
+        with pytest.raises(ValueError):
+            transpile(c, optimization_level=5)

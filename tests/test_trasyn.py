@@ -1,0 +1,137 @@
+"""Tests for the trasyn synthesizer (steps 1-3 and Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.enumeration import get_table
+from repro.gates.exact import ExactUnitary
+from repro.linalg import GATES, haar_random_u2, rz, trace_distance
+from repro.synthesis import simplify_sequence, synthesize, trasyn
+from repro.synthesis.sequences import GateSequence, matrix_of
+from repro.synthesis.trasyn import schedule_for_threshold
+
+
+@pytest.fixture(scope="module")
+def table6():
+    return get_table(6)
+
+
+class TestSynthesize:
+    def test_single_slot_is_optimal(self, table6):
+        rng = np.random.default_rng(0)
+        u = haar_random_u2(rng)
+        res = synthesize(u, [6], rng=rng, table=table6)
+        # Exhaustive: no table entry may beat the reported error.
+        best = min(
+            trace_distance(u, m) for m in table6.mats[::13]
+        )  # subsample for speed; the reported error must be <= any of them
+        assert res.sequence.error <= best + 1e-12
+        assert res.sequence.verify(u)
+
+    def test_exact_target_recovered(self, table6):
+        # A target that IS a Clifford+T word must synthesize to error ~0.
+        target = matrix_of(("H", "T", "S", "H", "T"))
+        res = synthesize(target, [6], rng=np.random.default_rng(1), table=table6)
+        assert res.sequence.error < 1e-7
+        assert res.sequence.t_count <= 2
+
+    @pytest.mark.parametrize("n_tensors", [2, 3])
+    def test_multi_tensor_verifies(self, table6, n_tensors):
+        rng = np.random.default_rng(2)
+        u = haar_random_u2(rng)
+        res = synthesize(u, [6] * n_tensors, n_samples=200, rng=rng, table=table6)
+        assert res.sequence.verify(u)
+        assert res.sequence.t_count <= 6 * n_tensors
+
+    def test_more_tensors_not_worse(self, table6):
+        rng = np.random.default_rng(3)
+        u = haar_random_u2(rng)
+        e1 = synthesize(u, [6], rng=rng, table=table6).sequence.error
+        e2 = synthesize(u, [6, 6], n_samples=400, rng=rng, table=table6).sequence.error
+        assert e2 <= e1 + 1e-9
+
+    def test_t_budget_respected(self, table6):
+        rng = np.random.default_rng(4)
+        u = haar_random_u2(rng)
+        for budgets in ([3], [3, 3], [2, 2, 2]):
+            res = synthesize(u, budgets, n_samples=100, rng=rng, table=table6)
+            assert res.sequence.t_count <= sum(budgets)
+
+    def test_t_range_budgets(self, table6):
+        rng = np.random.default_rng(5)
+        u = haar_random_u2(rng)
+        res = synthesize(u, [(2, 4), (0, 6)], n_samples=100, rng=rng, table=table6)
+        assert res.sequence.verify(u)
+
+    def test_rejects_budget_above_table(self, table6):
+        with pytest.raises(ValueError):
+            synthesize(np.eye(2), [7, 7], table=table6)
+
+
+class TestSimplify:
+    def test_cancels_inverse_pairs(self, table6):
+        gates = ["H", "H", "T", "Tdg", "S", "Sdg"]
+        out = simplify_sequence(gates, table6)
+        assert out == []
+
+    def test_merges_t_t_to_s(self, table6):
+        out = simplify_sequence(["T", "T"], table6)
+        assert out in (["S"], ["Sdg", "Z"])
+        assert sum(1 for g in out if g in ("T", "Tdg")) == 0
+
+    def test_preserves_matrix_up_to_phase(self, table6):
+        rng = np.random.default_rng(6)
+        # Random concatenation of two table sequences.
+        for _ in range(5):
+            i, j = rng.integers(0, len(table6), size=2)
+            gates = list(table6.sequence(int(i))) + list(table6.sequence(int(j)))
+            out = simplify_sequence(gates, table6)
+            before = ExactUnitary.from_gates(gates)
+            after = (
+                ExactUnitary.from_gates(out) if out else ExactUnitary.identity()
+            )
+            assert before.equals_up_to_phase(after)
+
+    def test_never_increases_cost(self, table6):
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            i, j = rng.integers(0, len(table6), size=2)
+            gates = list(table6.sequence(int(i))) + list(table6.sequence(int(j)))
+            out = simplify_sequence(gates, table6)
+            t_before = sum(1 for g in gates if g in ("T", "Tdg"))
+            t_after = sum(1 for g in out if g in ("T", "Tdg"))
+            assert t_after <= t_before
+
+
+class TestAlgorithm1:
+    def test_threshold_mode_meets_or_best_effort(self):
+        rng = np.random.default_rng(8)
+        u = haar_random_u2(rng)
+        seq = trasyn(u, error_threshold=0.08, rng=rng)
+        assert seq.error < 0.08  # easily reachable threshold
+
+    def test_explicit_budget_interface(self, table6):
+        rng = np.random.default_rng(9)
+        u = haar_random_u2(rng)
+        seq = trasyn(u, t_budgets=[6, 6], rng=rng, table=table6, n_samples=100)
+        assert seq.verify(u)
+
+    def test_schedule_ladder_shapes(self):
+        assert schedule_for_threshold(0.5) == [[8]]
+        ladder = schedule_for_threshold(0.001)
+        assert ladder[-1] == [12, 12, 8]
+        assert all(len(b) >= 1 for b in ladder)
+
+    def test_rz_target(self, table6):
+        rng = np.random.default_rng(10)
+        seq = trasyn(rz(0.91), t_budgets=[6, 6], rng=rng, table=table6,
+                     n_samples=200)
+        assert trace_distance(rz(0.91), seq.matrix()) == pytest.approx(
+            seq.error, abs=1e-9
+        )
+
+    def test_clifford_target_is_free(self, table6):
+        seq = trasyn(GATES["H"], t_budgets=[6], rng=np.random.default_rng(11),
+                     table=table6)
+        assert seq.error < 1e-7
+        assert seq.t_count == 0
