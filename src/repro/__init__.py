@@ -21,20 +21,32 @@ Quickstart::
 from repro.circuits import Circuit
 from repro.enumeration import build_table, get_table
 from repro.linalg import haar_random_u2, rz, trace_distance, u3
+from repro.pipeline import (
+    PassManager,
+    SynthesisCache,
+    compile_batch,
+    compile_circuit,
+    preset_pipeline,
+)
 from repro.synthesis import GateSequence, synthesize, trasyn
 from repro.synthesis.gridsynth import gridsynth_rz, gridsynth_u3
 from repro.transpiler import transpile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Circuit",
     "GateSequence",
+    "PassManager",
+    "SynthesisCache",
     "build_table",
+    "compile_batch",
+    "compile_circuit",
     "get_table",
     "gridsynth_rz",
     "gridsynth_u3",
     "haar_random_u2",
+    "preset_pipeline",
     "rz",
     "synthesize",
     "trace_distance",

@@ -2,11 +2,12 @@
 
 Commands
 --------
-synth-rz     Synthesize one Rz(theta) rotation with gridsynth.
-synth-u3     Synthesize an arbitrary unitary (three Euler angles) with trasyn.
-compile      Compile an OpenQASM 2.0 file through a synthesis workflow.
-catalog      Print the Clifford+T enumeration summary for a T budget.
-estimate     Surface-code resource estimate for an OpenQASM file.
+synth-rz       Synthesize one Rz(theta) rotation with gridsynth.
+synth-u3       Synthesize an arbitrary unitary (three Euler angles) with trasyn.
+compile        Compile an OpenQASM 2.0 file through a synthesis workflow.
+compile-batch  Compile many OpenQASM files in parallel with a shared cache.
+catalog        Print the Clifford+T enumeration summary for a T budget.
+estimate       Surface-code resource estimate for an OpenQASM file.
 """
 
 from __future__ import annotations
@@ -42,21 +43,34 @@ def _cmd_synth_u3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_cache(path: str | None):
+    """Open (or create) the synthesis cache backing a compile command."""
+    import os
+
+    from repro.pipeline import SynthesisCache
+
+    if path and os.path.exists(path):
+        try:
+            return SynthesisCache.load(path)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # A corrupt or incompatible cache only costs recomputation.
+            print(f"warning: ignoring unreadable cache {path}: {exc}",
+                  file=sys.stderr)
+    return SynthesisCache()
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     from repro.circuits import t_count, t_depth, clifford_count
     from repro.circuits.qasm import from_qasm, to_qasm
-    from repro.experiments.workflows import (
-        synthesize_circuit_gridsynth,
-        synthesize_circuit_trasyn,
-    )
+    from repro.pipeline import compile_circuit
 
     with open(args.input) as f:
         circuit = from_qasm(f.read())
-    rng = np.random.default_rng(args.seed)
-    if args.workflow == "trasyn":
-        result = synthesize_circuit_trasyn(circuit, args.eps, rng)
-    else:
-        result = synthesize_circuit_gridsynth(circuit, args.eps)
+    cache = _load_cache(args.cache_file)
+    result = compile_circuit(
+        circuit, workflow=args.workflow, eps=args.eps, cache=cache,
+        seed=args.seed,
+    )
     out = result.circuit
     print(f"rotations synthesized : {result.n_rotations}")
     print(f"T count               : {t_count(out)}")
@@ -67,6 +81,55 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         with open(args.output, "w") as f:
             f.write(to_qasm(out))
         print(f"wrote {args.output}")
+    if args.cache_file:
+        cache.save(args.cache_file)
+    return 0
+
+
+def _cmd_compile_batch(args: argparse.Namespace) -> int:
+    from repro.circuits.qasm import from_qasm, to_qasm
+    from repro.pipeline import compile_batch
+
+    circuits = []
+    for path in args.inputs:
+        with open(path) as f:
+            circuit = from_qasm(f.read())
+        if not circuit.name:
+            circuit.name = path
+        circuits.append(circuit)
+    cache = _load_cache(args.cache_file)
+    batch = compile_batch(
+        circuits, workflow=args.workflow, eps=args.eps, cache=cache,
+        seed=args.seed, max_workers=args.jobs,
+    )
+    stats = cache.stats()
+    for path, result in zip(args.inputs, batch.results):
+        print(f"{path}: rotations={result.n_rotations} "
+              f"T={result.t_count} Clifford={result.clifford_count} "
+              f"error<={result.total_synthesis_error:.3e}")
+    print(f"circuits compiled : {len(batch)}")
+    print(f"total T count     : {sum(r.t_count for r in batch)}")
+    print(f"cache hits/misses : {stats.hits}/{stats.misses}")
+    print(f"wall time         : {batch.wall_time:.3f}s")
+    if args.output_dir:
+        import os
+
+        os.makedirs(args.output_dir, exist_ok=True)
+        used: dict[str, int] = {}
+        for path, result in zip(args.inputs, batch.results):
+            base = os.path.splitext(os.path.basename(path))[0]
+            # Inputs from different directories may share a basename;
+            # suffix repeats so no compiled circuit is overwritten.
+            n = used.get(base, 0)
+            used[base] = n + 1
+            if n:
+                base = f"{base}-{n + 1}"
+            dest = os.path.join(args.output_dir, f"{base}_compiled.qasm")
+            with open(dest, "w") as f:
+                f.write(to_qasm(result.circuit))
+            print(f"wrote {dest}")
+    if args.cache_file:
+        cache.save(args.cache_file)
     return 0
 
 
@@ -116,7 +179,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps", type=float, default=0.007)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", default=None)
+    p.add_argument("--cache-file", default=None,
+                   help="JSON synthesis cache to reuse and update")
     p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser(
+        "compile-batch",
+        help="compile many OpenQASM circuits in parallel with a shared cache",
+    )
+    p.add_argument("inputs", nargs="+")
+    p.add_argument("--workflow", choices=("trasyn", "gridsynth"),
+                   default="trasyn")
+    p.add_argument("--eps", type=float, default=0.007)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker threads (default: one per circuit, "
+                        "capped at CPU count)")
+    p.add_argument("--cache-file", default=None,
+                   help="JSON synthesis cache to reuse and update")
+    p.add_argument("--output-dir", default=None,
+                   help="write each compiled circuit as QASM here")
+    p.set_defaults(func=_cmd_compile_batch)
 
     p = sub.add_parser("catalog", help="Clifford+T enumeration summary")
     p.add_argument("--budget", type=int, default=6)

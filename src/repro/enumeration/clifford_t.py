@@ -15,6 +15,7 @@ check of the exact arithmetic, canonicalization, and search.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,7 +38,7 @@ def expected_unique_count(budget: int) -> int:
     return 24 * (3 * 2**budget - 2)
 
 
-@dataclass
+@dataclass(eq=False)  # identity hash/eq: tables are cached per object
 class UnitaryTable:
     """Lookup table of unique Clifford+T matrices up to a T-count budget.
 
@@ -191,23 +192,29 @@ def build_table(budget: int) -> UnitaryTable:
 # ---------------------------------------------------------------------------
 
 _TABLE_CACHE: dict[int, UnitaryTable] = {}
+# Serializes cold builds: concurrent compile_batch workers must not each
+# run build_table (seconds of CPU and a full table of memory per worker).
+_TABLE_LOCK = threading.Lock()
 
 
 def get_table(budget: int, use_disk_cache: bool = True) -> UnitaryTable:
     """Memoized :func:`build_table` (in-process and on-disk caches)."""
     if budget in _TABLE_CACHE:
         return _TABLE_CACHE[budget]
-    path = _cache_path(budget)
-    if use_disk_cache and path and os.path.exists(path):
-        table = _load_table(path, budget)
-        if table is not None:
-            _TABLE_CACHE[budget] = table
-            return table
-    table = build_table(budget)
-    _TABLE_CACHE[budget] = table
-    if use_disk_cache and path:
-        _save_table(table, path)
-    return table
+    with _TABLE_LOCK:
+        if budget in _TABLE_CACHE:
+            return _TABLE_CACHE[budget]
+        path = _cache_path(budget)
+        if use_disk_cache and path and os.path.exists(path):
+            table = _load_table(path, budget)
+            if table is not None:
+                _TABLE_CACHE[budget] = table
+                return table
+        table = build_table(budget)
+        _TABLE_CACHE[budget] = table
+        if use_disk_cache and path:
+            _save_table(table, path)
+        return table
 
 
 def _cache_path(budget: int) -> str | None:
@@ -222,9 +229,12 @@ def _cache_path(budget: int) -> str | None:
 
 
 def _save_table(table: UnitaryTable, path: str) -> None:
+    # Write-then-rename: a concurrent reader (another process) must
+    # never observe a truncated npz at the final path.
+    tmp = f"{path}.tmp.{os.getpid()}"
     try:
         np.savez_compressed(
-            path,
+            tmp,
             budget=table.budget,
             coeffs=table.coeffs,
             karr=table.karr,
@@ -233,8 +243,15 @@ def _save_table(table: UnitaryTable, path: str) -> None:
             parents=table.parents,
             prefixes=table.prefixes,
         )
+        # savez appends .npz when the filename lacks the suffix.
+        os.replace(f"{tmp}.npz", path)
     except OSError:
-        pass
+        # Disk cache is best-effort, but never leave a partial temp
+        # file behind to accumulate in the cache directory.
+        try:
+            os.unlink(f"{tmp}.npz")
+        except OSError:
+            pass
 
 
 def _load_table(path: str, budget: int) -> UnitaryTable | None:

@@ -7,190 +7,89 @@ Two competing compilation flows from an input circuit to Clifford+T:
 * **gridsynth / Rz flow**: transpile to CX+H+Rz (Equation (1)), then
   synthesize each nontrivial Rz with gridsynth.
 
-Both flows share the rotation caches (identical angles appear many
-times in Trotter/QAOA circuits) and report the paper's metrics.
+Both flows run through :mod:`repro.pipeline`: lowering uses the preset
+pass pipelines, and rotation synthesis is memoized in a shared
+:class:`~repro.pipeline.SynthesisCache` (identical angles appear many
+times in Trotter/QAOA circuits).  These entry points keep the paper's
+shared-RNG semantics; :func:`repro.pipeline.compile_circuit` is the
+order-independent deterministic variant.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 
 import numpy as np
 
-from repro.circuits import (
-    Circuit,
-    clifford_count,
-    is_trivial_angle,
-    rotation_count,
-    t_count,
-    t_depth,
+from repro.circuits import Circuit, rotation_count
+from repro.pipeline import (
+    DEFAULT_EPS,
+    SynthesisCache,
+    SynthesizedCircuit,
+    best_preset_lowering,
+    synthesize_lowered,
 )
-from repro.circuits.circuit import Gate
-from repro.synthesis import GateSequence, trasyn
-from repro.synthesis.gridsynth import gridsynth_rz
-from repro.synthesis.gridsynth.exact_synthesis import t_power_tokens
-from repro.transpiler import transpile
 
-# Gate-name mapping from synthesis tokens to the circuit IR.
-_TOKEN_TO_IR = {
-    "H": "h", "S": "s", "Sdg": "sdg", "T": "t", "Tdg": "tdg",
-    "X": "x", "Y": "y", "Z": "z", "I": "i",
-}
+# Backward-compatible name: the old per-run cache grew into the
+# pipeline-level SynthesisCache (same get_or interface).
+_SequenceCache = SynthesisCache
 
-DEFAULT_EPS = 0.007  # the paper's RQ3 per-rotation threshold
-
-
-@dataclass
-class SynthesizedCircuit:
-    """A Clifford+T circuit with synthesis provenance."""
-
-    circuit: Circuit
-    n_rotations: int
-    total_synthesis_error: float  # additive upper bound over rotations
-    wall_time: float
-
-    @property
-    def t_count(self) -> int:
-        return t_count(self.circuit)
-
-    @property
-    def t_depth(self) -> int:
-        return t_depth(self.circuit)
-
-    @property
-    def clifford_count(self) -> int:
-        return clifford_count(self.circuit)
-
-
-def _append_sequence(circuit: Circuit, seq_gates, qubit: int) -> None:
-    """Splice a matrix-ordered gate sequence onto one wire (time order)."""
-    for token in reversed(list(seq_gates)):
-        name = _TOKEN_TO_IR[token]
-        if name != "i":
-            circuit.append(name, qubit)
+__all__ = [
+    "DEFAULT_EPS",
+    "SynthesizedCircuit",
+    "best_transpile",
+    "matched_thresholds",
+    "synthesize_circuit_gridsynth",
+    "synthesize_circuit_trasyn",
+]
 
 
 def best_transpile(circuit: Circuit, basis: str) -> Circuit:
-    """Pick the transpile setting with fewest rotations (Section 3.4)."""
-    best = None
-    for level in (0, 1, 2, 3):
-        for commutation in (False, True):
-            cand = transpile(
-                circuit, basis=basis, optimization_level=level,
-                commutation=commutation,
-            )
-            n = rotation_count(cand)
-            if best is None or n < best[0]:
-                best = (n, cand)
-    return best[1]
-
-
-class _SequenceCache:
-    """Memoizes synthesized rotations across a whole circuit/suite run."""
-
-    def __init__(self):
-        self._store: dict = {}
-
-    def get_or(self, key, compute):
-        if key not in self._store:
-            self._store[key] = compute()
-        return self._store[key]
+    """Pick the transpile preset with fewest rotations (Section 3.4)."""
+    return best_preset_lowering(circuit, basis)
 
 
 def synthesize_circuit_trasyn(
     circuit: Circuit,
     eps: float = DEFAULT_EPS,
     rng: np.random.Generator | None = None,
-    cache: _SequenceCache | None = None,
+    cache: SynthesisCache | None = None,
     pre_transpiled: bool = False,
 ) -> SynthesizedCircuit:
     """The U3 workflow: CX+U3 transpilation, trasyn per rotation."""
     if rng is None:
         rng = np.random.default_rng(0)
     if cache is None:
-        cache = _SequenceCache()
+        cache = SynthesisCache()
     start = time.monotonic()
     lowered = circuit if pre_transpiled else best_transpile(circuit, "u3")
-    out = Circuit(lowered.n_qubits, name=circuit.name + "_trasyn")
-    n_rot = 0
-    total_err = 0.0
-    for g in lowered.gates:
-        if g.name == "u3":
-            q = g.qubits[0]
-            if all(is_trivial_angle(p) for p in g.params):
-                seq = _trivial_u3_sequence(g)
-                _append_sequence(out, seq.gates, q)
-                continue
-            n_rot += 1
-            key = ("u3", round(g.params[0], 12), round(g.params[1], 12),
-                   round(g.params[2], 12), eps)
-            target = g.matrix()
-            seq = cache.get_or(
-                key, lambda: trasyn(target, error_threshold=eps, rng=rng)
-            )
-            total_err += seq.error
-            _append_sequence(out, seq.gates, q)
-        elif g.name in ("rx", "ry", "rz"):
-            raise ValueError("u3 flow expects a CX+U3 circuit")
-        else:
-            out.gates.append(g)
-    return SynthesizedCircuit(
-        circuit=out,
-        n_rotations=n_rot,
-        total_synthesis_error=total_err,
-        wall_time=time.monotonic() - start,
+    result = synthesize_lowered(
+        lowered, "u3", eps, cache,
+        rng_for=lambda key: rng,
+        name=circuit.name + "_trasyn",
     )
-
-
-def _trivial_u3_sequence(g: Gate) -> GateSequence:
-    """Exact Clifford+T word for a U3 whose angles are pi/4 multiples."""
-    from repro.enumeration import get_table
-    from repro.synthesis.trasyn import synthesize
-
-    table = get_table(2)
-    res = synthesize(g.matrix(), [2], table=table,
-                     rng=np.random.default_rng(0))
-    return res.sequence
+    result.wall_time = time.monotonic() - start
+    return result
 
 
 def synthesize_circuit_gridsynth(
     circuit: Circuit,
     eps: float = DEFAULT_EPS,
-    cache: _SequenceCache | None = None,
+    cache: SynthesisCache | None = None,
     pre_transpiled: bool = False,
 ) -> SynthesizedCircuit:
     """The Rz workflow: CX+H+Rz transpilation, gridsynth per rotation."""
     if cache is None:
-        cache = _SequenceCache()
+        cache = SynthesisCache()
     start = time.monotonic()
     lowered = circuit if pre_transpiled else best_transpile(circuit, "rz")
-    out = Circuit(lowered.n_qubits, name=circuit.name + "_gridsynth")
-    n_rot = 0
-    total_err = 0.0
-    for g in lowered.gates:
-        if g.name == "rz":
-            q = g.qubits[0]
-            theta = g.params[0]
-            if is_trivial_angle(theta):
-                j = round(theta / (np.pi / 4))
-                _append_sequence(out, t_power_tokens(j), q)
-                continue
-            n_rot += 1
-            key = ("rz", round(theta, 12), eps)
-            seq = cache.get_or(key, lambda: gridsynth_rz(theta, eps))
-            total_err += seq.error
-            _append_sequence(out, seq.gates, q)
-        elif g.name in ("rx", "ry", "u3"):
-            raise ValueError("rz flow expects a CX+H+Rz circuit")
-        else:
-            out.gates.append(g)
-    return SynthesizedCircuit(
-        circuit=out,
-        n_rotations=n_rot,
-        total_synthesis_error=total_err,
-        wall_time=time.monotonic() - start,
+    result = synthesize_lowered(
+        lowered, "rz", eps, cache,
+        rng_for=lambda key: np.random.default_rng(0),
+        name=circuit.name + "_gridsynth",
     )
+    result.wall_time = time.monotonic() - start
+    return result
 
 
 def matched_thresholds(

@@ -1,0 +1,80 @@
+"""Composable compilation pipeline: passes, presets, caching, batching.
+
+The architectural seam between the paper's algorithms and a production
+compiler service:
+
+* :class:`Pass` / :class:`PassManager` — the transpiler rewrites as
+  composable objects with per-pass metrics,
+* :func:`preset_pipeline` — the paper's optimization levels 0-3 for
+  both target IRs as ready-made pipelines,
+* :class:`SynthesisCache` — a thread-safe LRU of synthesized rotations
+  with JSON persistence,
+* :func:`compile_circuit` / :func:`compile_batch` — the end-to-end
+  transpile→synthesize flow, parallel over circuits.
+"""
+
+from repro.pipeline.batch import (
+    DEFAULT_EPS,
+    BatchResult,
+    SynthesizedCircuit,
+    compile_batch,
+    compile_circuit,
+    rng_for_key,
+    synthesize_lowered,
+)
+from repro.pipeline.cache import (
+    CacheStats,
+    SynthesisCache,
+    key_rz,
+    key_u3,
+)
+from repro.pipeline.passes import (
+    CancelInversePairs,
+    CommuteRotations,
+    DecomposeToRzBasis,
+    FunctionPass,
+    IsolateU3,
+    MergeRuns,
+    Pass,
+    PassManager,
+    PassMetrics,
+    PipelineResult,
+    SnapTrivialRotations,
+)
+from repro.pipeline.presets import (
+    BASES,
+    OPTIMIZATION_LEVELS,
+    best_preset_lowering,
+    iter_presets,
+    preset_pipeline,
+)
+
+__all__ = [
+    "BASES",
+    "BatchResult",
+    "CacheStats",
+    "best_preset_lowering",
+    "CancelInversePairs",
+    "CommuteRotations",
+    "DEFAULT_EPS",
+    "DecomposeToRzBasis",
+    "FunctionPass",
+    "IsolateU3",
+    "MergeRuns",
+    "OPTIMIZATION_LEVELS",
+    "Pass",
+    "PassManager",
+    "PassMetrics",
+    "PipelineResult",
+    "SnapTrivialRotations",
+    "SynthesisCache",
+    "SynthesizedCircuit",
+    "compile_batch",
+    "compile_circuit",
+    "iter_presets",
+    "key_rz",
+    "key_u3",
+    "preset_pipeline",
+    "rng_for_key",
+    "synthesize_lowered",
+]

@@ -1,0 +1,215 @@
+"""Process-wide memoization of synthesized rotations.
+
+Trotter/QAOA circuits repeat a handful of angles hundreds of times, and
+whole benchmark suites repeat them across circuits, so the synthesis
+result for a ``(kind, angles, eps, method)`` key is worth keeping far
+beyond one circuit.  :class:`SynthesisCache` is a thread-safe LRU shared
+by every workflow and by the :func:`repro.pipeline.compile_batch`
+worker pool, with optional JSON persistence so a warm cache survives
+the process (the cross-process half of the paper's caching argument).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.synthesis.sequences import GateSequence
+
+# Angles are rounded to this many digits when forming keys, matching the
+# historical workflow cache: angles closer than 1e-12 share a synthesis.
+KEY_DIGITS = 12
+
+Key = tuple  # (kind, method, *rounded params, eps)
+
+_FORMAT_VERSION = 1
+
+
+def key_rz(theta: float, eps: float, method: str = "gridsynth") -> Key:
+    """Cache key for a single Rz(theta) synthesis."""
+    return ("rz", method, round(float(theta), KEY_DIGITS), float(eps))
+
+
+def key_u3(
+    theta: float, phi: float, lam: float, eps: float, method: str = "trasyn"
+) -> Key:
+    """Cache key for a direct U3(theta, phi, lam) synthesis."""
+    return (
+        "u3",
+        method,
+        round(float(theta), KEY_DIGITS),
+        round(float(phi), KEY_DIGITS),
+        round(float(lam), KEY_DIGITS),
+        float(eps),
+    )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters snapshot: lifetime hits/misses plus current size."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int | None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SynthesisCache:
+    """Thread-safe LRU of :class:`GateSequence` results by rotation key.
+
+    Drop-in successor of the old per-run ``_SequenceCache``: the same
+    ``get_or(key, compute)`` interface, plus bounded size, hit/miss
+    accounting, and JSON round-tripping via :meth:`save`/:meth:`load`.
+    """
+
+    def __init__(self, maxsize: int | None = 100_000):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be positive or None")
+        self.maxsize = maxsize
+        self._store: OrderedDict[Key, GateSequence] = OrderedDict()
+        self._lock = threading.Lock()
+        self._inflight: dict[Key, threading.Event] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key: Key) -> bool:
+        with self._lock:
+            return tuple(key) in self._store
+
+    def get(self, key: Key) -> GateSequence | None:
+        key = tuple(key)
+        with self._lock:
+            seq = self._store.get(key)
+            if seq is not None:
+                self._store.move_to_end(key)
+                self._hits += 1
+            else:
+                self._misses += 1
+            return seq
+
+    def put(self, key: Key, seq: GateSequence) -> GateSequence:
+        """Insert unless present; returns the canonical stored value."""
+        key = tuple(key)
+        with self._lock:
+            existing = self._store.get(key)
+            if existing is not None:
+                self._store.move_to_end(key)
+                return existing
+            self._store[key] = seq
+            if self.maxsize is not None:
+                while len(self._store) > self.maxsize:
+                    self._store.popitem(last=False)
+            return seq
+
+    def get_or(
+        self, key: Key, compute: Callable[[], GateSequence]
+    ) -> GateSequence:
+        """Return the cached sequence, computing and storing on a miss.
+
+        ``compute`` runs outside the lock so workers on *different*
+        keys never serialize on synthesis, while workers racing on the
+        *same* key coordinate through an in-flight event: one computes,
+        the rest wait and read its result, so a cold parallel batch
+        synthesizes each unique rotation exactly once.
+        """
+        key = tuple(key)
+        seq = self.get(key)
+        if seq is not None:
+            return seq
+        with self._lock:
+            event = self._inflight.get(key)
+            owner = event is None
+            if owner:
+                event = self._inflight[key] = threading.Event()
+        if not owner:
+            event.wait()
+            seq = self.get(key)
+            if seq is not None:
+                return seq
+            # The owner's compute failed; fall back to our own attempt.
+            return self.put(key, compute())
+        try:
+            return self.put(key, compute())
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            event.set()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._store),
+                maxsize=self.maxsize,
+            )
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Write every entry as JSON (atomic replace)."""
+        with self._lock:
+            entries = [
+                {"key": list(k), "gates": list(s.gates), "error": s.error}
+                for k, s in self._store.items()
+            ]
+        payload = {"version": _FORMAT_VERSION, "entries": entries}
+        # Unique temp name per writer: concurrent savers must not
+        # interleave into one temp file and publish garbage.
+        tmp = (f"{os.fspath(path)}.tmp."
+               f"{os.getpid()}.{threading.get_ident()}")
+        try:
+            with open(tmp, "w") as f:
+                json.dump(payload, f)
+            os.replace(tmp, path)
+        except OSError:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def load(
+        cls, path: str | os.PathLike, maxsize: int | None = 100_000
+    ) -> "SynthesisCache":
+        """Rebuild a cache from :meth:`save` output."""
+        cache = cls(maxsize=maxsize)
+        cache.merge_from(path)
+        return cache
+
+    def merge_from(self, path: str | os.PathLike) -> int:
+        """Load entries from disk into this cache; returns count added."""
+        with open(path) as f:
+            payload = json.load(f)
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported cache format in {path!r}")
+        added = 0
+        for entry in payload["entries"]:
+            key = tuple(
+                tuple(p) if isinstance(p, list) else p for p in entry["key"]
+            )
+            if key not in self:
+                self.put(
+                    key,
+                    GateSequence(
+                        gates=tuple(entry["gates"]),
+                        error=float(entry["error"]),
+                    ),
+                )
+                added += 1
+        return added

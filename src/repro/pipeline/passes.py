@@ -1,0 +1,201 @@
+"""Composable transpiler passes and the pass manager running them.
+
+The fixed function chain of :func:`repro.transpiler.transpile` becomes a
+first-class pipeline here (the ``PassManager`` shape of Qiskit/UCC and
+qibo's ``Passes``): each rewrite is a :class:`Pass` object, and a
+:class:`PassManager` runs an ordered list of them while recording
+per-pass wall time and gate-count metrics.  Every pass preserves the
+circuit unitary (up to global phase for the decomposition passes), so
+pipelines compose freely.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.circuits import Circuit, rotation_count
+from repro.transpiler.passes import (
+    _isolate_1q,
+    cancel_inverse_pairs,
+    commute_rotations,
+    decompose_to_rz_basis,
+    merge_1q_runs,
+    snap_trivial_rotations,
+)
+
+
+class Pass:
+    """A circuit-to-circuit rewrite step.
+
+    Subclasses implement :meth:`run`; ``name`` identifies the pass in
+    metrics and reprs.  Passes must not mutate their input circuit.
+    """
+
+    name: str = "pass"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        raise NotImplementedError
+
+    def __call__(self, circuit: Circuit) -> Circuit:
+        return self.run(circuit)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class FunctionPass(Pass):
+    """Wrap any ``Circuit -> Circuit`` callable as a pass."""
+
+    fn: Callable[[Circuit], Circuit]
+    name: str = "function"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        return self.fn(circuit)
+
+
+class MergeRuns(Pass):
+    """Fuse maximal 1q-gate runs into single U3 gates."""
+
+    name = "merge_1q_runs"
+
+    def __init__(self, drop_identities: bool = True):
+        self.drop_identities = drop_identities
+
+    def run(self, circuit: Circuit) -> Circuit:
+        return merge_1q_runs(circuit, drop_identities=self.drop_identities)
+
+
+class CommuteRotations(Pass):
+    """Move Rz/Rx through CX to create merge opportunities."""
+
+    name = "commute_rotations"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        return commute_rotations(circuit)
+
+
+class CancelInversePairs(Pass):
+    """Remove adjacent self-inverse duplicates and inverse pairs."""
+
+    name = "cancel_inverse_pairs"
+
+    def __init__(self, max_passes: int = 8):
+        self.max_passes = max_passes
+
+    def run(self, circuit: Circuit) -> Circuit:
+        return cancel_inverse_pairs(circuit, max_passes=self.max_passes)
+
+
+class SnapTrivialRotations(Pass):
+    """Round rotation angles within ``tol`` of pi/4 multiples."""
+
+    name = "snap_trivial_rotations"
+
+    def __init__(self, tol: float = 1e-9):
+        self.tol = tol
+
+    def run(self, circuit: Circuit) -> Circuit:
+        return snap_trivial_rotations(circuit, tol=self.tol)
+
+
+class DecomposeToRzBasis(Pass):
+    """Lower every 1q gate to {H, Rz} + discrete Cliffords (Eq. 1)."""
+
+    name = "decompose_to_rz_basis"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        return decompose_to_rz_basis(circuit)
+
+
+class IsolateU3(Pass):
+    """Convert each 1q gate to U3 individually (level-0 lowering)."""
+
+    name = "isolate_u3"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        return _isolate_1q(circuit)
+
+
+@dataclass(frozen=True)
+class PassMetrics:
+    """Timing and size accounting for one pass execution."""
+
+    name: str
+    wall_time: float
+    gates_in: int
+    gates_out: int
+    rotations_in: int
+    rotations_out: int
+
+
+@dataclass
+class PipelineResult:
+    """Output circuit of a pipeline run plus per-pass metrics."""
+
+    circuit: Circuit
+    metrics: list[PassMetrics] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return sum(m.wall_time for m in self.metrics)
+
+
+class PassManager:
+    """An ordered, user-configurable sequence of passes.
+
+    ``PassManager([...]).run(c)`` equals composing the underlying pass
+    functions left to right; :meth:`run_detailed` additionally returns
+    a :class:`PassMetrics` entry per pass.
+    """
+
+    def __init__(self, passes: Iterable[Pass] = ()):
+        self.passes: list[Pass] = list(passes)
+
+    def append(self, p: Pass) -> "PassManager":
+        self.passes.append(p)
+        return self
+
+    def extend(self, passes: Iterable[Pass]) -> "PassManager":
+        self.passes.extend(passes)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.passes)
+
+    def __iter__(self) -> Iterator[Pass]:
+        return iter(self.passes)
+
+    def __repr__(self) -> str:
+        names = ", ".join(p.name for p in self.passes)
+        return f"PassManager([{names}])"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        return self.run_detailed(circuit).circuit
+
+    def run_detailed(self, circuit: Circuit) -> PipelineResult:
+        """Run every pass in order, collecting per-pass metrics.
+
+        The manager holds no state about the run (the result carries
+        the metrics), so a single instance is safe to share across the
+        worker threads of :func:`repro.pipeline.compile_batch`.
+        """
+        work = circuit
+        metrics: list[PassMetrics] = []
+        for p in self.passes:
+            gates_in = len(work.gates)
+            rot_in = rotation_count(work)
+            start = time.monotonic()
+            work = p.run(work)
+            elapsed = time.monotonic() - start
+            metrics.append(PassMetrics(
+                name=p.name,
+                wall_time=elapsed,
+                gates_in=gates_in,
+                gates_out=len(work.gates),
+                rotations_in=rot_in,
+                rotations_out=rotation_count(work),
+            ))
+        return PipelineResult(circuit=work, metrics=metrics)

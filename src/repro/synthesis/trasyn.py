@@ -20,6 +20,7 @@ attempts, optionally stopping at an error threshold (Equation (4)).
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,16 +33,24 @@ from repro.tensornet import TraceMPS
 
 DEFAULT_TENSOR_BUDGET = 6
 
-# QuaternionIndex instances are deterministic per table slice; memoize.
-_INDEX_CACHE: dict[tuple[int, int, int], QuaternionIndex] = {}
+# QuaternionIndex instances are deterministic per table slice; memoize
+# per live table.  Keying by the table object (weakly) rather than
+# ``id(table)`` matters: id values are reused after garbage collection,
+# so an id-keyed cache can silently serve a stale index built from a
+# different, freed table.  The WeakKeyDictionary drops a table's slice
+# indexes the moment the table itself is collected.
+_INDEX_CACHE: "weakref.WeakKeyDictionary[UnitaryTable, dict[tuple[int, int], QuaternionIndex]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def _slot_index(table: UnitaryTable, lo: int, hi: int) -> QuaternionIndex:
-    key = (id(table), lo, hi)
-    if key not in _INDEX_CACHE:
+    per_table = _INDEX_CACHE.setdefault(table, {})
+    key = (lo, hi)
+    if key not in per_table:
         idx = table.indices_for_t_range(lo, hi)
-        _INDEX_CACHE[key] = QuaternionIndex(table.mats[idx])
-    return _INDEX_CACHE[key]
+        per_table[key] = QuaternionIndex(table.mats[idx])
+    return per_table[key]
 
 
 def _amp_to_error(amplitude: complex) -> float:

@@ -16,7 +16,6 @@ Clifford+Rz or Clifford+U3?* — is answered by combining these passes:
 
 from __future__ import annotations
 
-import cmath
 import math
 
 import numpy as np
@@ -233,14 +232,6 @@ def _emit_rz(circuit: Circuit, theta: float, q: int) -> None:
     circuit.rz(theta, q)
 
 
-_LEVEL_PASSES = {
-    0: (),
-    1: ("merge",),
-    2: ("cancel", "merge", "snap"),
-    3: ("cancel", "merge", "snap", "cancel", "merge"),
-}
-
-
 def transpile(
     circuit: Circuit,
     basis: str = "u3",
@@ -253,31 +244,15 @@ def transpile(
     ``basis='rz'`` produces CX+H+Rz (the gridsynth workflow input).
     ``commutation`` additionally runs the Rz/Rx-through-CX pass before
     merging, which is where the U3 IR gains most (Figure 6).
+
+    The pass sequence per level lives in
+    :mod:`repro.pipeline.presets`; this function is sugar for
+    ``preset_pipeline(basis, optimization_level, commutation).run(...)``.
     """
-    if basis not in ("u3", "rz"):
-        raise ValueError("basis must be 'u3' or 'rz'")
-    if optimization_level not in _LEVEL_PASSES:
-        raise ValueError("optimization_level must be 0..3")
-    work = circuit.copy()
-    work = snap_trivial_rotations(work)
-    if commutation:
-        work = commute_rotations(work)
-    for step in _LEVEL_PASSES[optimization_level]:
-        if step == "merge":
-            work = merge_1q_runs(work)
-        elif step == "cancel":
-            work = cancel_inverse_pairs(work)
-        elif step == "snap":
-            work = snap_trivial_rotations(work)
-    if basis == "rz":
-        work = decompose_to_rz_basis(work)
-        work = cancel_inverse_pairs(work)
-    elif optimization_level == 0:
-        # Level 0 converts each 1q gate separately — no run fusion.
-        work = _isolate_1q(work)
-    else:
-        work = merge_1q_runs(work)
-    return work
+    # Imported lazily: repro.pipeline wraps this module's pass functions.
+    from repro.pipeline.presets import preset_pipeline
+
+    return preset_pipeline(basis, optimization_level, commutation).run(circuit)
 
 
 def _isolate_1q(circuit: Circuit) -> Circuit:

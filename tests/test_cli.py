@@ -1,0 +1,179 @@
+"""End-to-end CLI tests: ``main(argv)`` against small QASM fixtures."""
+
+import json
+import re
+
+import pytest
+
+from repro.circuits.qasm import from_qasm
+from repro.cli import main
+
+_FIXTURE = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+rz(0.4) q[0];
+cx q[0],q[1];
+rz(0.7) q[1];
+h q[1];
+"""
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = tmp_path / "fixture.qasm"
+    path.write_text(_FIXTURE)
+    return path
+
+
+def _field(output: str, label: str) -> str:
+    m = re.search(rf"^{re.escape(label)}\s*:\s*(.+)$", output, re.MULTILINE)
+    assert m, f"field {label!r} missing from output:\n{output}"
+    return m.group(1).strip()
+
+
+class TestSynthRz:
+    def test_synthesizes_within_eps(self, capsys):
+        rc = main(["synth-rz", "--theta", "0.5", "--eps", "0.05"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert float(_field(out, "error")) <= 0.05
+        assert int(_field(out, "T count")) > 0
+        gates = _field(out, "gates").split()
+        assert gates and set(gates) <= {
+            "H", "S", "Sdg", "T", "Tdg", "X", "Y", "Z", "I"
+        }
+
+
+class TestCompile:
+    def test_compile_gridsynth(self, qasm_file, tmp_path, capsys):
+        out_path = tmp_path / "compiled.qasm"
+        rc = main([
+            "compile", str(qasm_file), "--workflow", "gridsynth",
+            "--eps", "0.05", "--output", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert int(_field(out, "rotations synthesized")) == 2
+        assert int(_field(out, "T count")) > 0
+        assert float(_field(out, "synthesis error bound")) <= 2 * 0.05
+        # The written QASM is valid and purely discrete.
+        compiled = from_qasm(out_path.read_text())
+        assert all(g.name != "rz" for g in compiled.gates)
+
+    def test_compile_trasyn(self, qasm_file, capsys):
+        rc = main([
+            "compile", str(qasm_file), "--workflow", "trasyn",
+            "--eps", "0.15",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert int(_field(out, "rotations synthesized")) >= 1
+        assert int(_field(out, "Clifford count")) >= 0
+
+    def test_compile_survives_corrupt_cache_file(self, qasm_file, tmp_path,
+                                                 capsys):
+        for blob in ("{garbage", '{"version": 1, "entries": '
+                     '[{"key": ["rz", "g", 0.4, 0.05], "gates": 5, '
+                     '"error": null}]}'):
+            cache_path = tmp_path / "bad.json"
+            cache_path.write_text(blob)
+            rc = main([
+                "compile", str(qasm_file), "--workflow", "gridsynth",
+                "--eps", "0.05", "--cache-file", str(cache_path),
+            ])
+            captured = capsys.readouterr()
+            assert rc == 0
+            assert "ignoring unreadable cache" in captured.err
+            # The bad file is replaced by a valid cache afterwards.
+            assert json.loads(cache_path.read_text())["entries"]
+
+    def test_compile_cache_file_round_trip(self, qasm_file, tmp_path,
+                                           capsys):
+        cache_path = tmp_path / "cache.json"
+        argv = [
+            "compile", str(qasm_file), "--workflow", "gridsynth",
+            "--eps", "0.05", "--cache-file", str(cache_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        payload = json.loads(cache_path.read_text())
+        assert payload["entries"]
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert _field(first, "T count") == _field(second, "T count")
+
+
+class TestCompileBatch:
+    def _write_fixtures(self, tmp_path, n):
+        paths = []
+        for i in range(n):
+            path = tmp_path / f"circ{i}.qasm"
+            path.write_text(_FIXTURE.replace("0.4", f"0.{4 + i}"))
+            paths.append(str(path))
+        return paths
+
+    def test_batch_parallel_with_cache(self, tmp_path, capsys):
+        paths = self._write_fixtures(tmp_path, 3)
+        cache_path = tmp_path / "cache.json"
+        out_dir = tmp_path / "out"
+        rc = main([
+            "compile-batch", *paths, "--workflow", "gridsynth",
+            "--eps", "0.05", "--jobs", "2",
+            "--cache-file", str(cache_path), "--output-dir", str(out_dir),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert int(_field(out, "circuits compiled")) == 3
+        assert int(_field(out, "total T count")) > 0
+        for path in paths:
+            assert path in out
+        compiled = list(out_dir.glob("*_compiled.qasm"))
+        assert len(compiled) == 3
+        for p in compiled:
+            from_qasm(p.read_text())  # parses cleanly
+        assert cache_path.exists()
+
+        # Second run is fully warm: zero misses reported.
+        rc = main([
+            "compile-batch", *paths, "--workflow", "gridsynth",
+            "--eps", "0.05", "--cache-file", str(cache_path),
+        ])
+        out2 = capsys.readouterr().out
+        assert rc == 0
+        hits, misses = _field(out2, "cache hits/misses").split("/")
+        assert int(misses) == 0
+        assert int(hits) > 0
+
+    def test_batch_serial_matches_parallel(self, tmp_path, capsys):
+        paths = self._write_fixtures(tmp_path, 2)
+        assert main(["compile-batch", *paths, "--workflow", "gridsynth",
+                     "--eps", "0.05", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["compile-batch", *paths, "--workflow", "gridsynth",
+                     "--eps", "0.05", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Timing and hit/miss accounting legitimately differ between the
+        # two runs; the compiled-circuit lines must not.
+        strip = lambda s: [ln for ln in s.splitlines()
+                           if not ln.startswith(("wall time", "cache "))]
+        assert strip(serial) == strip(parallel)
+
+
+class TestOtherCommands:
+    def test_catalog(self, capsys):
+        rc = main(["catalog", "--budget", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        m = re.search(r"T <= 3: (\d+)", out)
+        assert m and int(m.group(1)) == 24 * (3 * 2**3 - 2)
+
+    def test_estimate(self, qasm_file, capsys):
+        rc = main(["estimate", str(qasm_file)])
+        assert rc == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_unknown_command_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["not-a-command"])
+        assert exc.value.code != 0

@@ -135,3 +135,51 @@ class TestAlgorithm1:
                      table=table6)
         assert seq.error < 1e-7
         assert seq.t_count == 0
+
+
+class TestIndexCacheLifetime:
+    """Regression: _INDEX_CACHE must not key QuaternionIndex by id(table).
+
+    id() values are reused after garbage collection, so an id-keyed
+    cache could silently serve an index built from a freed table.  The
+    cache is now a WeakKeyDictionary keyed by the table object itself.
+    """
+
+    def test_index_always_matches_current_table(self):
+        import gc
+
+        from repro.enumeration import build_table
+        from repro.synthesis.trasyn import _slot_index
+
+        # Repeatedly build short-lived tables: CPython happily reuses
+        # the freed object's address (== its id), which made the old
+        # id-keyed cache return a stale index for a *different* slice.
+        for lo, hi in [(0, 2), (0, 1), (1, 2), (0, 2)]:
+            table = build_table(2)
+            index = _slot_index(table, lo, hi)
+            expect = table.mats[table.indices_for_t_range(lo, hi)]
+            assert index.mats.shape == expect.shape
+            assert np.array_equal(index.mats, expect)
+            del table, index
+            gc.collect()
+
+    def test_entries_die_with_their_table(self):
+        import gc
+
+        from repro.enumeration import build_table
+        from repro.synthesis.trasyn import _INDEX_CACHE, _slot_index
+
+        table = build_table(1)
+        _slot_index(table, 0, 1)
+        assert table in _INDEX_CACHE
+        before = len(_INDEX_CACHE)
+        del table
+        gc.collect()
+        assert len(_INDEX_CACHE) == before - 1
+
+    def test_same_table_reuses_index(self):
+        from repro.enumeration import build_table
+        from repro.synthesis.trasyn import _slot_index
+
+        table = build_table(1)
+        assert _slot_index(table, 0, 1) is _slot_index(table, 0, 1)
