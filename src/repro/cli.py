@@ -6,6 +6,7 @@ synth-rz       Synthesize one Rz(theta) rotation with gridsynth.
 synth-u3       Synthesize an arbitrary unitary (three Euler angles) with trasyn.
 compile        Compile an OpenQASM 2.0 file through a synthesis workflow.
 compile-batch  Compile many OpenQASM files in parallel with a shared cache.
+simulate       Noisy fidelity evaluation through a simulation backend.
 catalog        Print the Clifford+T enumeration summary for a T budget.
 estimate       Surface-code resource estimate for an OpenQASM file.
 """
@@ -133,6 +134,38 @@ def _cmd_compile_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.circuits.qasm import from_qasm
+    from repro.sim import NoiseModel, evaluate_fidelity
+
+    with open(args.input) as f:
+        circuit = from_qasm(f.read())
+    noise = None
+    if args.noise_rate > 0:
+        if args.noise_model == "t":
+            noise = NoiseModel.t_gates_only(args.noise_rate)
+        else:
+            noise = NoiseModel.non_pauli_gates(args.noise_rate)
+    ev = evaluate_fidelity(
+        circuit,
+        noise=noise,
+        backend=args.sim_backend,
+        trajectories=args.trajectories,
+        max_bond=args.max_bond,
+        seed=args.seed,
+    )
+    print(f"qubits           : {ev.n_qubits}")
+    print(f"backend          : {ev.backend}")
+    print(f"trajectories     : {ev.n_trajectories}")
+    print(f"fidelity         : {ev.fidelity:.6f}")
+    if ev.std_error is not None:
+        print(f"std error        : {ev.std_error:.2e}")
+    if ev.truncation_error > 0:
+        print(f"truncated weight : {ev.truncation_error:.2e}")
+    print(f"wall time        : {ev.wall_time:.3f}s")
+    return 0
+
+
 def _cmd_catalog(args: argparse.Namespace) -> int:
     from repro.enumeration import expected_unique_count, get_table
 
@@ -200,6 +233,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output-dir", default=None,
                    help="write each compiled circuit as QASM here")
     p.set_defaults(func=_cmd_compile_batch)
+
+    p = sub.add_parser(
+        "simulate",
+        help="simulate an OpenQASM circuit under logical noise and report "
+             "the fidelity against its noiseless state",
+    )
+    p.add_argument("input")
+    p.add_argument("--sim-backend",
+                   choices=("auto", "density", "statevector", "mps"),
+                   default="auto",
+                   help="simulation engine (default: size-based auto-dispatch)")
+    p.add_argument("--trajectories", type=int, default=None,
+                   help="Monte-Carlo trajectory count for the stochastic "
+                        "backends (default: 200 statevector / 50 mps)")
+    p.add_argument("--noise-rate", type=float, default=0.0,
+                   help="depolarizing logical error rate (0 = noiseless)")
+    p.add_argument("--noise-model", choices=("t", "non-pauli"),
+                   default="non-pauli",
+                   help="which gates the noise follows (RQ2 vs RQ4 model)")
+    p.add_argument("--max-bond", type=int, default=None,
+                   help="MPS bond-dimension cap (default 64)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("catalog", help="Clifford+T enumeration summary")
     p.add_argument("--budget", type=int, default=6)

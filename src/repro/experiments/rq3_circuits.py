@@ -18,6 +18,7 @@ from repro.experiments.workflows import (
     DEFAULT_EPS,
     SynthesizedCircuit,
     _SequenceCache,
+    evaluate_synthesized,
     matched_thresholds,
     synthesize_circuit_gridsynth,
     synthesize_circuit_trasyn,
@@ -50,12 +51,19 @@ class CircuitComparison:
         )
 
 
-def _state_infidelity(case_circuit, synthesized, max_qubits: int) -> float | None:
+def _state_infidelity(
+    case_circuit, synthesized, max_qubits: int, backend: str = "auto"
+) -> float | None:
+    """Noiseless synthesis infidelity through the backend protocol.
+
+    Dispatch means circuits past the dense-statevector range fall back
+    to MPS instead of being skipped; ``max_qubits`` stays as a
+    wall-clock bound for time-boxed runs.
+    """
     if case_circuit.n_qubits > max_qubits:
         return None
-    psi_true = case_circuit.statevector()
-    psi = synthesized.statevector()
-    return float(max(0.0, 1.0 - abs(np.vdot(psi_true, psi)) ** 2))
+    ev = evaluate_synthesized(case_circuit, synthesized, backend=backend)
+    return ev.infidelity
 
 
 def run_rq3(
@@ -63,6 +71,7 @@ def run_rq3(
     base_eps: float = DEFAULT_EPS,
     seed: int = 3,
     fidelity_max_qubits: int = 16,
+    sim_backend: str = "auto",
 ) -> list[CircuitComparison]:
     rng = np.random.default_rng(seed)
     tra_cache = _SequenceCache()
@@ -83,10 +92,10 @@ def run_rq3(
             n_qubits=case.n_qubits, trasyn_flow=tra, gridsynth_flow=grid,
         )
         comp.trasyn_infidelity = _state_infidelity(
-            case.circuit, tra.circuit, fidelity_max_qubits
+            case.circuit, tra.circuit, fidelity_max_qubits, sim_backend
         )
         comp.gridsynth_infidelity = _state_infidelity(
-            case.circuit, grid.circuit, fidelity_max_qubits
+            case.circuit, grid.circuit, fidelity_max_qubits, sim_backend
         )
         out.append(comp)
     return out

@@ -38,6 +38,7 @@ __all__ = [
     "DEFAULT_EPS",
     "SynthesizedCircuit",
     "best_transpile",
+    "evaluate_synthesized",
     "matched_thresholds",
     "synthesize_circuit_gridsynth",
     "synthesize_circuit_trasyn",
@@ -90,6 +91,45 @@ def synthesize_circuit_gridsynth(
     )
     result.wall_time = time.monotonic() - start
     return result
+
+
+def evaluate_synthesized(
+    reference: Circuit,
+    synthesized: SynthesizedCircuit | Circuit,
+    noise=None,
+    *,
+    backend: str = "auto",
+    trajectories: int | None = None,
+    max_bond: int | None = None,
+    seed: int = 0,
+    reference_state=None,
+):
+    """Fidelity evaluation of a synthesized circuit against its source.
+
+    Runs through the :mod:`repro.sim.backends` protocol, so circuits
+    beyond the 12-qubit density-matrix wall are evaluated with
+    statevector trajectories or MPS as appropriate.  Returns a
+    :class:`repro.sim.FidelityEvaluation`.  ``reference_state`` lets
+    callers evaluating many synthesized variants of one source circuit
+    precompute the ideal state once.
+    """
+    from repro.sim.evaluate import evaluate_fidelity
+
+    circuit = (
+        synthesized.circuit
+        if isinstance(synthesized, SynthesizedCircuit)
+        else synthesized
+    )
+    return evaluate_fidelity(
+        circuit,
+        reference=reference,
+        noise=noise,
+        backend=backend,
+        trajectories=trajectories,
+        max_bond=max_bond,
+        seed=seed,
+        reference_state=reference_state,
+    )
 
 
 def matched_thresholds(

@@ -19,6 +19,7 @@ from repro.pipeline.batch import (
     SynthesizedCircuit,
     compile_batch,
     compile_circuit,
+    map_parallel,
     rng_for_key,
     synthesize_lowered,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "iter_presets",
     "key_rz",
     "key_u3",
+    "map_parallel",
     "preset_pipeline",
     "rng_for_key",
     "synthesize_lowered",

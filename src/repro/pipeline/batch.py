@@ -40,6 +40,25 @@ from repro.synthesis import GateSequence
 
 DEFAULT_EPS = 0.007  # the paper's RQ3 per-rotation threshold
 
+
+def map_parallel(fn, items: Sequence, max_workers: int | None = None) -> list:
+    """Map ``fn`` over ``items`` on a thread pool, preserving order.
+
+    The shared fan-out primitive behind :func:`compile_batch` and the
+    trajectory simulation backend: ``max_workers=1`` (or a single item)
+    degrades to a serial loop, otherwise a ``ThreadPoolExecutor`` of
+    ``max_workers`` threads (default: one per item, capped at CPU
+    count) is used.  Results must not depend on scheduling — callers
+    are responsible for deriving any randomness per item, not per
+    worker.
+    """
+    if max_workers is None:
+        max_workers = max(1, min(len(items), os.cpu_count() or 1))
+    if max_workers <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, items))
+
 _WORKFLOW_BASIS = {"trasyn": "u3", "gridsynth": "rz"}
 
 # Gate-name mapping from synthesis tokens to the circuit IR.
@@ -279,8 +298,6 @@ def compile_batch(
     """
     if cache is None:
         cache = SynthesisCache()
-    if max_workers is None:
-        max_workers = max(1, min(len(circuits), os.cpu_count() or 1))
     start = time.monotonic()
 
     def job(circuit: Circuit) -> SynthesizedCircuit:
@@ -290,11 +307,7 @@ def compile_batch(
             pipeline=pipeline,
         )
 
-    if max_workers <= 1 or len(circuits) <= 1:
-        results = [job(c) for c in circuits]
-    else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(job, circuits))
+    results = map_parallel(job, circuits, max_workers)
     return BatchResult(
         results=results,
         wall_time=time.monotonic() - start,

@@ -50,7 +50,13 @@ class SurfaceCodeModel:
         while 0.1 * ratio ** ((d + 1) / 2) > per_cell:
             d += 2
             if d > 99:
-                break
+                raise ValueError(
+                    f"no surface-code distance <= 99 meets the logical "
+                    f"error budget {logical_error_budget:g} over "
+                    f"{n_logical} qubits x {n_cycles} cycles at physical "
+                    f"rate {self.physical_error_rate:g}; relax the budget "
+                    f"or improve the physical error rate"
+                )
         return d
 
 

@@ -1,19 +1,42 @@
-"""Simulators and fidelity metrics for noisy fault-tolerant execution."""
+"""Simulators and fidelity metrics for noisy fault-tolerant execution.
 
+The engines live behind :mod:`repro.sim.backends` (density matrix,
+statevector trajectories, MPS) with :func:`select_backend` auto-dispatch
+and :func:`evaluate_fidelity` as the circuit-level entry point.
+"""
+
+from repro.sim.backends import (
+    DensityMatrixBackend,
+    MPSBackend,
+    SimulationResult,
+    SimulatorBackend,
+    StatevectorTrajectoryBackend,
+    select_backend,
+)
 from repro.sim.density_matrix import DensityMatrixSimulator, simulate_noisy
+from repro.sim.evaluate import FidelityEvaluation, evaluate_fidelity
 from repro.sim.fidelity import (
     process_fidelity_1q,
     sequence_process_infidelity,
     state_fidelity,
     state_infidelity,
 )
-from repro.sim.noise import NoiseModel, depolarizing_kraus
+from repro.sim.noise import NoiseModel, canonical_gate_name, depolarizing_kraus
 
 __all__ = [
+    "DensityMatrixBackend",
     "DensityMatrixSimulator",
+    "FidelityEvaluation",
+    "MPSBackend",
     "NoiseModel",
+    "SimulationResult",
+    "SimulatorBackend",
+    "StatevectorTrajectoryBackend",
+    "canonical_gate_name",
     "depolarizing_kraus",
+    "evaluate_fidelity",
     "process_fidelity_1q",
+    "select_backend",
     "sequence_process_infidelity",
     "simulate_noisy",
     "state_fidelity",

@@ -1,0 +1,148 @@
+"""Pluggable simulation backends and size-aware auto-dispatch.
+
+Three engines implement the :class:`SimulatorBackend` protocol:
+
+``density``
+    Exact density matrix (4^n memory, <= 12 qubits) — ground truth.
+``statevector``
+    Batched statevector trajectories with Monte-Carlo Kraus noise
+    (n_traj x 2^n memory, <= ~24 qubits) — the fast noisy engine.
+``mps``
+    Bond-truncated matrix product state (linear memory) — the 20+
+    qubit engine, exact up to the tracked truncated weight.
+
+:func:`select_backend` picks one from ``(n_qubits, noise, memory
+budget)``; see the README "Simulation backends" section for the rules.
+"""
+
+from __future__ import annotations
+
+from repro.sim.backends.base import (
+    SimulationResult,
+    SimulatorBackend,
+    is_noisy,
+    reference_statevector,
+)
+from repro.sim.backends.density import DensityMatrixBackend, DensityMatrixResult
+from repro.sim.backends.mps_backend import MPSBackend, MPSResult
+from repro.sim.backends.statevector import (
+    StatevectorTrajectoryBackend,
+    TrajectoryResult,
+)
+from repro.sim.noise import NoiseModel
+
+#: Default working-set ceiling for auto-dispatch: 2 GiB.
+DEFAULT_MEMORY_BUDGET = 2**31
+
+#: Exact density matrices win below this size even when noisy: the 4^n
+#: work is still smaller than a meaningful trajectory count's 2^n work.
+_DENSITY_PREFERRED_MAX = 8
+
+BACKEND_NAMES = ("auto", "density", "statevector", "mps")
+
+_ALIASES = {
+    "density": "density",
+    "density_matrix": "density",
+    "dm": "density",
+    "statevector": "statevector",
+    "sv": "statevector",
+    "trajectories": "statevector",
+    "mps": "mps",
+    "tensornet": "mps",
+}
+
+
+def _make(
+    name: str,
+    trajectories: int | None,
+    max_bond: int | None,
+    seed: int,
+    max_workers: int | None,
+) -> SimulatorBackend:
+    if name == "density":
+        return DensityMatrixBackend()
+    if name == "statevector":
+        kwargs = {"seed": seed, "max_workers": max_workers}
+        if trajectories is not None:
+            kwargs["trajectories"] = trajectories
+        return StatevectorTrajectoryBackend(**kwargs)
+    kwargs = {"seed": seed, "max_workers": max_workers}
+    if trajectories is not None:
+        kwargs["trajectories"] = trajectories
+    if max_bond is not None:
+        kwargs["max_bond"] = max_bond
+    return MPSBackend(**kwargs)
+
+
+def select_backend(
+    n_qubits: int,
+    noise: NoiseModel | None = None,
+    *,
+    backend: str = "auto",
+    trajectories: int | None = None,
+    max_bond: int | None = None,
+    seed: int = 0,
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+    max_workers: int | None = None,
+) -> SimulatorBackend:
+    """Choose a simulation engine for a problem shape.
+
+    ``backend='auto'`` dispatches on (n_qubits, noise, memory budget):
+
+    * noiseless → statevector if one state fits the budget, else MPS;
+    * noisy → exact density matrix up to 8 qubits (when 4^n fits),
+      then statevector trajectories while a trajectory chunk fits,
+      then MPS trajectories.
+
+    Any explicit name (``density`` / ``statevector`` / ``mps``, plus
+    common aliases) bypasses the heuristics but still validates the
+    qubit count against the engine's own hard limits.
+    """
+    canonical = _ALIASES.get(backend, backend)
+    if canonical != "auto":
+        if canonical not in ("density", "statevector", "mps"):
+            raise ValueError(
+                f"unknown backend {backend!r}; pick from {BACKEND_NAMES}"
+            )
+        chosen = _make(canonical, trajectories, max_bond, seed, max_workers)
+        if not chosen.supports(n_qubits, is_noisy(noise)):
+            raise ValueError(
+                f"backend {canonical!r} cannot simulate {n_qubits} qubits"
+            )
+        return chosen
+    noisy = is_noisy(noise)
+    density = _make("density", trajectories, max_bond, seed, max_workers)
+    statevec = _make("statevector", trajectories, max_bond, seed, max_workers)
+    sv_fits = (
+        statevec.supports(n_qubits, noisy)
+        and statevec.memory_bytes(n_qubits, noisy) <= memory_budget_bytes
+    )
+    if noisy:
+        dm_fits = (
+            n_qubits <= _DENSITY_PREFERRED_MAX
+            and density.supports(n_qubits, noisy)
+            and density.memory_bytes(n_qubits, noisy) <= memory_budget_bytes
+        )
+        if dm_fits:
+            return density
+    if sv_fits:
+        return statevec
+    return _make("mps", trajectories, max_bond, seed, max_workers)
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_MEMORY_BUDGET",
+    "DensityMatrixBackend",
+    "DensityMatrixResult",
+    "MPSBackend",
+    "MPSResult",
+    "NoiseModel",
+    "SimulationResult",
+    "SimulatorBackend",
+    "StatevectorTrajectoryBackend",
+    "TrajectoryResult",
+    "is_noisy",
+    "reference_statevector",
+    "select_backend",
+]

@@ -1,0 +1,106 @@
+"""The simulation-backend protocol.
+
+Every engine — exact density matrix, Monte-Carlo statevector
+trajectories, bond-truncated MPS — implements :class:`SimulatorBackend`
+and returns a :class:`SimulationResult`.  Results know how to score
+themselves against a *reference* pure state supplied as a dense
+statevector, a :class:`~repro.tensornet.circuit_mps.CircuitMPS`, or
+another result, so experiment code never touches engine internals.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.sim.noise import NoiseModel
+from repro.tensornet.circuit_mps import CircuitMPS
+
+#: Complex128 entries.
+_ITEMSIZE = 16
+
+
+def is_noisy(noise: NoiseModel | None) -> bool:
+    """True when the model would actually inject Kraus channels."""
+    return noise is not None and noise.rate > 0.0
+
+
+def reference_statevector(reference, n_qubits: int) -> np.ndarray:
+    """Coerce any supported reference into a dense statevector."""
+    if isinstance(reference, np.ndarray):
+        vec = reference.reshape(-1)
+        if vec.shape[0] != 2**n_qubits:
+            raise ValueError(
+                f"reference statevector has dimension {vec.shape[0]}, "
+                f"expected {2**n_qubits}"
+            )
+        return np.asarray(vec, dtype=complex)
+    if isinstance(reference, CircuitMPS):
+        return reference.to_statevector()
+    if isinstance(reference, SimulationResult):
+        return reference.statevector()
+    raise TypeError(
+        f"unsupported reference of type {type(reference).__name__}; pass a "
+        "statevector array, a CircuitMPS, or a SimulationResult"
+    )
+
+
+class SimulationResult(ABC):
+    """Output of one backend run: a (possibly mixed/sampled) state."""
+
+    backend: str
+    n_qubits: int
+    n_trajectories: int = 1
+    wall_time: float = 0.0
+
+    @abstractmethod
+    def fidelity(self, reference) -> float:
+        """Fidelity of the simulated state against a pure reference."""
+
+    def infidelity(self, reference) -> float:
+        return max(0.0, 1.0 - self.fidelity(reference))
+
+    def fidelity_std_error(self, reference) -> float | None:
+        """Sampling standard error of :meth:`fidelity`, if stochastic."""
+        return None
+
+    def statevector(self) -> np.ndarray:
+        """Dense pure-state readout (noiseless single-trajectory runs)."""
+        raise NotImplementedError(
+            f"{self.backend} result does not expose a single statevector"
+        )
+
+
+class SimulatorBackend(ABC):
+    """One simulation engine behind the common run/score protocol."""
+
+    name: str
+
+    @abstractmethod
+    def run(
+        self, circuit: Circuit, noise: NoiseModel | None = None
+    ) -> SimulationResult:
+        """Simulate ``circuit`` from |0..0> under optional noise."""
+
+    @abstractmethod
+    def supports(self, n_qubits: int, noisy: bool) -> bool:
+        """Whether this engine can take on a problem of this shape."""
+
+    @abstractmethod
+    def memory_bytes(self, n_qubits: int, noisy: bool = True) -> int:
+        """Approximate peak working-set size for ``n_qubits``.
+
+        ``noisy`` matters for the trajectory engine, whose noiseless
+        runs collapse to a single deterministic state.
+        """
+
+    def make_reference(self, circuit: Circuit):
+        """Noiseless reference state in this backend's native format.
+
+        The dense engines score against a plain statevector; the MPS
+        engine overrides this to produce a same-bond-budget MPS so the
+        overlap contraction stays cheap at 20+ qubits.
+        """
+        return circuit.statevector()

@@ -1,0 +1,75 @@
+"""The exact density-matrix engine behind the backend protocol.
+
+This is the seed repository's only simulator, refactored behind
+:class:`SimulatorBackend`: exact open-system evolution with explicit
+Kraus sums, 4^n memory, hard-guarded at ``max_qubits`` (default 12, the
+paper's fidelity-evaluation cutoff).  It remains the ground truth the
+stochastic engines are validated against.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.sim.backends.base import (
+    _ITEMSIZE,
+    SimulationResult,
+    SimulatorBackend,
+    reference_statevector,
+)
+from repro.sim.density_matrix import DensityMatrixSimulator
+from repro.sim.noise import NoiseModel
+
+
+class DensityMatrixResult(SimulationResult):
+    """Exact mixed state: fidelity is <psi|rho|psi> with no sampling."""
+
+    backend = "density"
+
+    def __init__(self, rho: np.ndarray, n_qubits: int, wall_time: float):
+        self.rho = rho
+        self.n_qubits = n_qubits
+        self.wall_time = wall_time
+
+    def fidelity(self, reference) -> float:
+        psi = reference_statevector(reference, self.n_qubits)
+        return float(np.real(psi.conj() @ self.rho @ psi))
+
+    def statevector(self) -> np.ndarray:
+        """Dominant eigenvector — valid only for (near-)pure states."""
+        vals, vecs = np.linalg.eigh(self.rho)
+        if vals[-1] < 1.0 - 1e-9:
+            raise ValueError(
+                "density matrix is mixed; no single statevector exists"
+            )
+        return np.ascontiguousarray(vecs[:, -1])
+
+
+class DensityMatrixBackend(SimulatorBackend):
+    """Exact density-matrix simulation (4^n memory, <= max_qubits)."""
+
+    name = "density"
+
+    def __init__(self, max_qubits: int = 12):
+        self.max_qubits = max_qubits
+
+    def supports(self, n_qubits: int, noisy: bool) -> bool:
+        return n_qubits <= self.max_qubits
+
+    def memory_bytes(self, n_qubits: int, noisy: bool = True) -> int:
+        return _ITEMSIZE * 4**n_qubits
+
+    def run(
+        self, circuit: Circuit, noise: NoiseModel | None = None
+    ) -> DensityMatrixResult:
+        start = time.monotonic()
+        sim = DensityMatrixSimulator(
+            circuit.n_qubits, max_qubits=self.max_qubits
+        )
+        rho = sim.run(circuit, noise)
+        return DensityMatrixResult(
+            rho, circuit.n_qubits, time.monotonic() - start
+        )

@@ -1,0 +1,281 @@
+"""Vectorized statevector simulation with Monte-Carlo Kraus trajectories.
+
+Noise is unravelled into quantum trajectories: each trajectory is a pure
+state, every Kraus channel becomes a weighted random choice of one Kraus
+operator, and the noisy density matrix is the empirical average over
+trajectories.  Memory is ``O(n_traj * 2^n)`` instead of ``4^n``, which
+both breaks the 12-qubit density-matrix wall and — because trajectories
+are batched as one stacked ``(n_traj, 2, ..., 2)`` array driven through
+the same BLAS calls — beats the density matrix on wall-clock well below
+it.
+
+Determinism
+-----------
+Trajectory ``t`` consumes only the uniform stream of
+``np.random.default_rng([seed, t])``, pre-drawn as one row of a
+``(n_traj, n_events)`` matrix (the number of noise events per circuit is
+known upfront).  Results are therefore bit-identical regardless of chunk
+size, worker count, or scheduling — the same contract
+:func:`repro.pipeline.compile_batch` makes for compilation, and the
+chunks fan out over the same :func:`repro.pipeline.map_parallel`
+thread-pool machinery.
+
+Channels whose Kraus operators are proportional to unitaries (the
+depolarizing channels of :class:`NoiseModel`) take a fast path: outcome
+probabilities are state-independent, so sampling costs one uniform and
+the selected operator is applied to just the trajectories that drew it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, Gate
+from repro.pipeline.batch import map_parallel
+from repro.sim.backends.base import (
+    _ITEMSIZE,
+    SimulationResult,
+    SimulatorBackend,
+    is_noisy,
+    reference_statevector,
+)
+from repro.sim.noise import NoiseModel, depolarizing_kraus
+
+_DEFAULT_TRAJECTORIES = 200
+
+
+class _UnitaryMixture:
+    """A Kraus channel of scaled unitaries: sample index, apply unitary."""
+
+    def __init__(self, probs: np.ndarray, unitaries: list[np.ndarray]):
+        self.cum = np.cumsum(probs)
+        self.cum[-1] = 1.0  # guard rounding at the top end
+        self.unitaries = unitaries
+
+
+def _as_unitary_mixture(kraus: list[np.ndarray]) -> _UnitaryMixture | None:
+    """Detect K_i^dag K_i = c_i I and precompute the sampling table."""
+    probs, unitaries = [], []
+    for k in kraus:
+        kdk = k.conj().T @ k
+        c = float(np.real(kdk[0, 0]))
+        if c <= 0 or not np.allclose(kdk, c * np.eye(k.shape[0]), atol=1e-12):
+            return None
+        probs.append(c)
+        unitaries.append(k / np.sqrt(c))
+    probs = np.asarray(probs)
+    if not np.isclose(probs.sum(), 1.0, atol=1e-9):
+        return None  # not trace preserving; use the general path
+    return _UnitaryMixture(probs, unitaries)
+
+
+def _apply_1q_batch(states: np.ndarray, m: np.ndarray, q: int) -> np.ndarray:
+    """Apply a 2x2 operator on qubit ``q`` of a stacked (k, 2, ..., 2)."""
+    out = np.tensordot(m, states, axes=([1], [1 + q]))
+    return np.moveaxis(out, 0, 1 + q)
+
+
+def _apply_gate_batch(states: np.ndarray, gate: Gate) -> np.ndarray:
+    m = gate.matrix()
+    if len(gate.qubits) == 1:
+        return _apply_1q_batch(states, m, gate.qubits[0])
+    a, b = gate.qubits
+    m = m.reshape(2, 2, 2, 2)
+    out = np.tensordot(m, states, axes=([2, 3], [1 + a, 1 + b]))
+    return np.moveaxis(out, (0, 1), (1 + a, 1 + b))
+
+
+def _apply_kraus_mc(
+    states: np.ndarray,
+    kraus: list[np.ndarray],
+    mixture: _UnitaryMixture | None,
+    q: int,
+    uniforms: np.ndarray,
+) -> np.ndarray:
+    """One Monte-Carlo Kraus event on qubit ``q`` for every trajectory.
+
+    ``uniforms`` holds one pre-drawn uniform per trajectory; the state
+    batch is mutated out-of-place and returned.
+    """
+    if mixture is not None:
+        choice = np.searchsorted(mixture.cum, uniforms, side="right")
+        for i, u in enumerate(mixture.unitaries):
+            rows = np.nonzero(choice == i)[0]
+            if rows.size == 0:
+                continue
+            states[rows] = _apply_1q_batch(states[rows], u, q)
+        return states
+    # General channel: norms are state-dependent, so evaluate every
+    # candidate branch and select per trajectory.
+    k = states.shape[0]
+    candidates = [_apply_1q_batch(states, op, q) for op in kraus]
+    flat = [c.reshape(k, -1) for c in candidates]
+    norms2 = np.stack(
+        [np.einsum("kd,kd->k", f, f.conj()).real for f in flat]
+    )  # (n_kraus, k)
+    totals = norms2.sum(axis=0)
+    cum = np.cumsum(norms2 / totals, axis=0)
+    cum[-1] = 1.0
+    choice = (cum < uniforms[None, :]).sum(axis=0)
+    out = np.empty_like(flat[0])
+    for i in range(len(kraus)):
+        rows = np.nonzero(choice == i)[0]
+        if rows.size == 0:
+            continue
+        out[rows] = flat[i][rows] / np.sqrt(norms2[i, rows])[:, None]
+    return out.reshape(states.shape)
+
+
+def _count_noise_events(
+    circuit: Circuit, noise: NoiseModel | None
+) -> int:
+    if not is_noisy(noise):
+        return 0
+    return sum(len(noise.noisy_qubits(g)) for g in circuit.gates)
+
+
+class TrajectoryResult(SimulationResult):
+    """Stacked trajectory statevectors of shape ``(n_traj, 2^n)``."""
+
+    backend = "statevector"
+
+    def __init__(
+        self,
+        states: np.ndarray,
+        n_qubits: int,
+        seed: int,
+        wall_time: float,
+    ):
+        self.states = states
+        self.n_qubits = n_qubits
+        self.n_trajectories = states.shape[0]
+        self.seed = seed
+        self.wall_time = wall_time
+
+    def _sample_fidelities(self, reference) -> np.ndarray:
+        psi = reference_statevector(reference, self.n_qubits)
+        overlaps = self.states @ psi.conj()
+        return np.abs(overlaps) ** 2
+
+    def fidelity(self, reference) -> float:
+        return float(self._sample_fidelities(reference).mean())
+
+    def fidelity_std_error(self, reference) -> float | None:
+        fids = self._sample_fidelities(reference)
+        if fids.shape[0] < 2:
+            return 0.0
+        return float(fids.std(ddof=1) / np.sqrt(fids.shape[0]))
+
+    def statevector(self) -> np.ndarray:
+        if self.n_trajectories != 1:
+            raise ValueError(
+                "stochastic trajectory bundle has no single statevector; "
+                "use fidelity() against a reference instead"
+            )
+        return self.states[0]
+
+
+class StatevectorTrajectoryBackend(SimulatorBackend):
+    """Batched pure-state trajectories with Monte-Carlo Kraus noise."""
+
+    name = "statevector"
+
+    def __init__(
+        self,
+        trajectories: int = _DEFAULT_TRAJECTORIES,
+        seed: int = 0,
+        max_qubits: int = 24,
+        chunk_size: int = 64,
+        max_workers: int | None = None,
+    ):
+        if trajectories < 1:
+            raise ValueError("need at least one trajectory")
+        self.trajectories = int(trajectories)
+        self.seed = int(seed)
+        self.max_qubits = max_qubits
+        self.chunk_size = max(1, int(chunk_size))
+        self.max_workers = max_workers
+
+    def supports(self, n_qubits: int, noisy: bool) -> bool:
+        return n_qubits <= self.max_qubits
+
+    def memory_bytes(self, n_qubits: int, noisy: bool = True) -> int:
+        if not noisy:
+            # One deterministic state plus a same-size gate transient.
+            return _ITEMSIZE * 2**n_qubits * 2
+        # The preallocated trajectory stack plus an in-flight chunk of
+        # working states and its same-size gate transient.
+        width = self.trajectories + 2 * min(self.trajectories, self.chunk_size)
+        return _ITEMSIZE * 2**n_qubits * width
+
+    # -- execution ---------------------------------------------------------
+    def _run_chunk(
+        self,
+        circuit: Circuit,
+        noise: NoiseModel | None,
+        uniforms: np.ndarray,
+    ) -> np.ndarray:
+        """Drive ``uniforms.shape[0]`` trajectories as one stacked array."""
+        n = circuit.n_qubits
+        k = uniforms.shape[0]
+        states = np.zeros((k,) + (2,) * n, dtype=complex)
+        states[(slice(None),) + (0,) * n] = 1.0
+        kraus = mixture = None
+        if is_noisy(noise):
+            kraus = depolarizing_kraus(noise.rate)
+            mixture = _as_unitary_mixture(kraus)
+        event = 0
+        for gate in circuit.gates:
+            states = _apply_gate_batch(states, gate)
+            if kraus is not None:
+                for q in noise.noisy_qubits(gate):
+                    states = _apply_kraus_mc(
+                        states, kraus, mixture, q, uniforms[:, event]
+                    )
+                    event += 1
+        return states.reshape(k, -1)
+
+    def run(
+        self, circuit: Circuit, noise: NoiseModel | None = None
+    ) -> TrajectoryResult:
+        if circuit.n_qubits > self.max_qubits:
+            raise ValueError(
+                f"statevector simulation of {circuit.n_qubits} qubits "
+                f"refused (limit {self.max_qubits})"
+            )
+        start = time.monotonic()
+        n_events = _count_noise_events(circuit, noise)
+        if n_events == 0:
+            # Deterministic evolution: every trajectory is identical.
+            states = self._run_chunk(circuit, None, np.empty((1, 0)))
+            return TrajectoryResult(
+                states, circuit.n_qubits, self.seed,
+                time.monotonic() - start,
+            )
+        # One private uniform stream per trajectory, derived from
+        # (seed, trajectory index) — chunking cannot change results.
+        uniforms = np.stack(
+            [
+                np.random.default_rng([self.seed, t]).random(n_events)
+                for t in range(self.trajectories)
+            ]
+        )
+        # Chunks write straight into one preallocated stack — no
+        # concatenate copy doubling peak memory at the end.
+        states = np.empty(
+            (self.trajectories, 2**circuit.n_qubits), dtype=complex
+        )
+        offsets = list(range(0, self.trajectories, self.chunk_size))
+
+        def job(lo: int) -> None:
+            rows = uniforms[lo : lo + self.chunk_size]
+            states[lo : lo + rows.shape[0]] = self._run_chunk(
+                circuit, noise, rows
+            )
+
+        map_parallel(job, offsets, self.max_workers)
+        return TrajectoryResult(
+            states, circuit.n_qubits, self.seed, time.monotonic() - start
+        )

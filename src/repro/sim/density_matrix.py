@@ -36,9 +36,19 @@ class DensityMatrixSimulator:
         return self._rho.reshape(dim, dim)
 
     def set_state(self, rho: np.ndarray) -> None:
+        rho = np.asarray(rho, dtype=complex)
         dim = 2**self.n
-        self._rho = np.asarray(rho, dtype=complex).reshape((2,) * (2 * self.n))
-        assert self.rho.shape == (dim, dim)
+        if rho.shape != (dim, dim):
+            raise ValueError(
+                f"expected a square ({dim}, {dim}) density matrix for "
+                f"{self.n} qubits, got shape {rho.shape}"
+            )
+        trace = complex(np.trace(rho))
+        if abs(trace - 1.0) > 1e-8:
+            raise ValueError(
+                f"density matrix must have unit trace, got {trace:.6g}"
+            )
+        self._rho = rho.reshape((2,) * (2 * self.n))
 
     # -- evolution -----------------------------------------------------------
     def apply_gate(self, gate: Gate) -> None:

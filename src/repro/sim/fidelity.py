@@ -13,10 +13,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.linalg import GATES
-from repro.sim.noise import depolarizing_kraus
+from repro.sim.noise import canonical_gate_name, depolarizing_kraus
 
+# Kept in synthesis-token capitalization for backward compatibility of
+# call sites; every comparison goes through canonical_gate_name so the
+# circuit IR's lower-case names match too.
 _T_NAMES = frozenset({"T", "Tdg"})
 _PAULI_NAMES = frozenset({"I", "X", "Y", "Z"})
+
+_CANONICAL_GATES = {canonical_gate_name(k): v for k, v in GATES.items()}
+
+
+def _gate_matrix(name: str) -> np.ndarray:
+    """Look up a 1q gate matrix by either token or IR capitalization."""
+    try:
+        return GATES[name]
+    except KeyError:
+        return _CANONICAL_GATES[canonical_gate_name(name)]
 
 
 def state_fidelity(rho: np.ndarray, psi: np.ndarray) -> float:
@@ -53,12 +66,13 @@ def choi_of_sequence(
     phi[0] = phi[3] = 1.0 / np.sqrt(2.0)
     rho = np.outer(phi, phi.conj())
     kraus = depolarizing_kraus(logical_rate) if logical_rate > 0 else None
+    noisy = frozenset(canonical_gate_name(n) for n in noisy_gates)
     eye = np.eye(2, dtype=complex)
     # Matrix order: gates[-1] acts first in time.
     for name in reversed(list(gates)):
-        u = np.kron(GATES[name], eye)
+        u = np.kron(_gate_matrix(name), eye)
         rho = u @ rho @ u.conj().T
-        if kraus is not None and name in noisy_gates:
+        if kraus is not None and canonical_gate_name(name) in noisy:
             rho = sum(
                 np.kron(k, eye) @ rho @ np.kron(k, eye).conj().T for k in kraus
             )

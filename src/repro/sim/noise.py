@@ -27,6 +27,18 @@ _T_NAMES = frozenset({"t", "tdg"})
 _PAULI_NAMES = frozenset({"i", "x", "y", "z"})
 
 
+def canonical_gate_name(name: str) -> str:
+    """Canonical (lower-case) gate name shared by every noise layer.
+
+    Circuit IR gates are lower-case (``"t"``) while synthesis token
+    sequences are capitalized (``"T"``); every name comparison in the
+    noise/fidelity stack must go through this normalization so a
+    :class:`NoiseModel` can never silently skip a gate depending on
+    which layer produced it.
+    """
+    return name.lower()
+
+
 def depolarizing_kraus(p: float) -> list[np.ndarray]:
     """Kraus operators of the 1q depolarizing channel with rate ``p``."""
     if not 0.0 <= p <= 1.0:
@@ -46,12 +58,16 @@ class NoiseModel:
     @staticmethod
     def t_gates_only(rate: float) -> "NoiseModel":
         """RQ2's conservative model: only T gates are noisy."""
-        return NoiseModel(rate, lambda g: g.name in _T_NAMES)
+        return NoiseModel(
+            rate, lambda g: canonical_gate_name(g.name) in _T_NAMES
+        )
 
     @staticmethod
     def non_pauli_gates(rate: float) -> "NoiseModel":
         """RQ4's model: depolarizing after every non-Pauli gate."""
-        return NoiseModel(rate, lambda g: g.name not in _PAULI_NAMES)
+        return NoiseModel(
+            rate, lambda g: canonical_gate_name(g.name) not in _PAULI_NAMES
+        )
 
     def noisy_qubits(self, gate: Gate) -> tuple[int, ...]:
         """Qubits receiving a depolarizing channel after ``gate``."""

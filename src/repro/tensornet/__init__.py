@@ -1,5 +1,6 @@
-"""Matrix-product-state machinery behind trasyn's search (steps 1-2)."""
+"""Matrix-product-state machinery: trasyn's trace MPS and circuit MPS."""
 
+from repro.tensornet.circuit_mps import CircuitMPS
 from repro.tensornet.mps import TraceMPS
 
-__all__ = ["TraceMPS"]
+__all__ = ["CircuitMPS", "TraceMPS"]

@@ -1,0 +1,346 @@
+"""Tests for the pluggable simulation backends and the sim bugfixes."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.circuit import Gate
+from repro.sim import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    canonical_gate_name,
+    evaluate_fidelity,
+    select_backend,
+)
+from repro.sim.backends import (
+    DensityMatrixBackend,
+    MPSBackend,
+    StatevectorTrajectoryBackend,
+)
+from repro.sim.fidelity import choi_of_sequence
+from repro.tensornet import CircuitMPS
+
+
+def _test_circuit(n=3):
+    c = Circuit(n).h(0).cx(0, 1).t(1).rz(0.3, 0)
+    for q in range(n - 1):
+        c.cx(q, q + 1)
+    c.h(n - 1).tdg(0).s(1)
+    return c
+
+
+ALL_BACKENDS = [
+    DensityMatrixBackend(),
+    StatevectorTrajectoryBackend(trajectories=50, seed=3),
+    MPSBackend(trajectories=50, seed=3),
+]
+
+
+class TestNoiselessEquivalence:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_matches_dense_statevector(self, backend):
+        c = _test_circuit()
+        psi = c.statevector()
+        result = backend.run(c)
+        assert result.fidelity(psi) == pytest.approx(1.0, abs=1e-9)
+        assert result.n_trajectories == 1
+
+    def test_statevector_readout_agrees(self):
+        c = _test_circuit()
+        psi = c.statevector()
+        sv = StatevectorTrajectoryBackend().run(c).statevector()
+        mps = MPSBackend().run(c).statevector()
+        assert np.allclose(sv, psi, atol=1e-9)
+        assert abs(np.vdot(mps, psi)) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestNoisyEquivalence:
+    def test_trajectories_match_density_matrix(self):
+        c = _test_circuit()
+        psi = c.statevector()
+        noise = NoiseModel.non_pauli_gates(0.02)
+        exact = DensityMatrixBackend().run(c, noise).fidelity(psi)
+        sv = StatevectorTrajectoryBackend(trajectories=1500, seed=11).run(
+            c, noise
+        )
+        err = sv.fidelity_std_error(psi)
+        assert err is not None and err > 0
+        assert sv.fidelity(psi) == pytest.approx(exact, abs=max(5 * err, 0.02))
+
+    def test_mps_trajectories_match_density_matrix(self):
+        c = _test_circuit()
+        psi = c.statevector()
+        noise = NoiseModel.non_pauli_gates(0.02)
+        exact = DensityMatrixBackend().run(c, noise).fidelity(psi)
+        mps = MPSBackend(trajectories=400, seed=11).run(c, noise)
+        err = mps.fidelity_std_error(psi)
+        assert mps.fidelity(psi) == pytest.approx(exact, abs=max(5 * err, 0.04))
+
+    def test_trajectory_determinism_across_chunking(self):
+        c = _test_circuit()
+        noise = NoiseModel.t_gates_only(0.1)
+        a = StatevectorTrajectoryBackend(
+            trajectories=40, seed=9, chunk_size=7
+        ).run(c, noise)
+        b = StatevectorTrajectoryBackend(
+            trajectories=40, seed=9, chunk_size=64, max_workers=1
+        ).run(c, noise)
+        assert np.array_equal(a.states, b.states)
+
+    def test_seed_changes_trajectories(self):
+        c = _test_circuit()
+        noise = NoiseModel.non_pauli_gates(0.2)
+        a = StatevectorTrajectoryBackend(trajectories=20, seed=1).run(c, noise)
+        b = StatevectorTrajectoryBackend(trajectories=20, seed=2).run(c, noise)
+        assert not np.allclose(a.states, b.states)
+
+    def test_noisy_bundle_has_no_single_statevector(self):
+        c = _test_circuit()
+        noise = NoiseModel.non_pauli_gates(0.3)
+        result = StatevectorTrajectoryBackend(trajectories=4).run(c, noise)
+        with pytest.raises(ValueError):
+            result.statevector()
+
+
+class TestGeneralKrausPath:
+    """Channels that are not mixtures of unitaries (amplitude damping)."""
+
+    @staticmethod
+    def _damping_kraus(g):
+        k0 = np.array([[1, 0], [0, np.sqrt(1 - g)]], dtype=complex)
+        k1 = np.array([[0, np.sqrt(g)], [0, 0]], dtype=complex)
+        return [k0, k1]
+
+    def test_statevector_general_path(self):
+        from repro.sim.backends.statevector import (
+            _apply_kraus_mc,
+            _as_unitary_mixture,
+        )
+
+        kraus = self._damping_kraus(0.4)
+        assert _as_unitary_mixture(kraus) is None
+        # 500 trajectories of |1>: damping sends ~40% to |0>.
+        k = 500
+        states = np.zeros((k, 2), dtype=complex)
+        states[:, 1] = 1.0
+        uniforms = np.random.default_rng(0).random(k)
+        out = _apply_kraus_mc(
+            states.reshape(k, 2), kraus, None, 0, uniforms
+        ).reshape(k, 2)
+        norms = np.abs(out) ** 2
+        assert np.allclose(norms.sum(axis=1), 1.0)
+        frac_zero = float((norms[:, 0] > 0.99).mean())
+        assert frac_zero == pytest.approx(0.4, abs=0.07)
+
+    def test_mps_general_path_matches(self):
+        from repro.sim.backends.mps_backend import MPSBackend
+
+        kraus = self._damping_kraus(0.4)
+        counts = 0
+        n_traj = 200
+        for t in range(n_traj):
+            mps = CircuitMPS(2)
+            mps.apply_1q(np.array([[0, 1], [1, 0]], dtype=complex), 0)  # |10>
+            u = np.random.default_rng([0, t]).random(1)
+            MPSBackend._kraus_event(mps, kraus, None, 0, float(u[0]))
+            assert mps.norm() == pytest.approx(1.0, abs=1e-9)
+            counts += abs(mps.amplitude([0, 0])) ** 2 > 0.99
+        assert counts / n_traj == pytest.approx(0.4, abs=0.1)
+
+
+class TestCircuitMPS:
+    def test_ghz_20_qubits(self):
+        n = 20
+        c = Circuit(n).h(0)
+        for i in range(n - 1):
+            c.cx(i, i + 1)
+        mps = MPSBackend(max_bond=4).run(c).mps
+        assert abs(mps.amplitude([0] * n)) ** 2 == pytest.approx(0.5)
+        assert abs(mps.amplitude([1] * n)) ** 2 == pytest.approx(0.5)
+        assert mps.truncation_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_long_range_gates_match_dense(self):
+        rng = np.random.default_rng(0)
+        c = Circuit(5)
+        for _ in range(25):
+            if rng.random() < 0.5:
+                c.append(
+                    ["h", "t", "s", "x"][int(rng.integers(4))],
+                    int(rng.integers(5)),
+                )
+            else:
+                a, b = rng.choice(5, 2, replace=False)
+                c.cx(int(a), int(b))
+        c.swap(0, 4).cz(1, 3).rz(0.7, 2)
+        psi = c.statevector()
+        mps = MPSBackend(max_bond=32).run(c)
+        assert mps.fidelity(psi) == pytest.approx(1.0, abs=1e-9)
+
+    def test_truncation_is_tracked_and_state_normalized(self):
+        rng = np.random.default_rng(4)
+        n = 8
+        c = Circuit(n)
+        for _ in range(3):
+            for q in range(n):
+                c.u3(*rng.uniform(0, np.pi, 3), q)
+            for q in range(0, n - 1):
+                c.cx(q, q + 1)
+            for q in range(n - 1, 0, -2):
+                c.cx(0, q)
+        mps = CircuitMPS(n, max_bond=4).run(c)
+        assert mps.truncation_error > 0
+        assert mps.norm() == pytest.approx(1.0, abs=1e-9)
+
+    def test_overlap_against_other_mps(self):
+        c = _test_circuit(4)
+        a = MPSBackend().run(c).mps
+        b = MPSBackend().run(c).mps
+        assert abs(a.overlap(b)) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestSelectBackend:
+    def test_auto_dispatch_rules(self):
+        noise = NoiseModel.non_pauli_gates(1e-3)
+        assert select_backend(4, noise).name == "density"
+        assert select_backend(8, noise).name == "density"
+        assert select_backend(10, noise).name == "statevector"
+        assert select_backend(16, noise).name == "statevector"
+        assert select_backend(30, noise).name == "mps"
+        assert select_backend(10).name == "statevector"
+        assert select_backend(30).name == "mps"
+
+    def test_noisy_memory_accounts_for_all_trajectories(self):
+        # 200 trajectories of 2^20 amplitudes exceed 2 GiB even though
+        # a single chunk would fit — dispatch must count the stack.
+        noise = NoiseModel.non_pauli_gates(1e-3)
+        assert select_backend(20, noise).name == "mps"
+        assert select_backend(20, noise, trajectories=20).name == "statevector"
+
+    def test_noiseless_dispatch_uses_single_state_cost(self):
+        # Noiseless runs are one deterministic state: 22 qubits fits.
+        assert select_backend(22).name == "statevector"
+
+    def test_memory_budget_forces_mps(self):
+        sim = select_backend(16, memory_budget_bytes=2**20)
+        assert sim.name == "mps"
+
+    def test_explicit_names_and_aliases(self):
+        assert select_backend(4, backend="density").name == "density"
+        assert select_backend(4, backend="dm").name == "density"
+        assert select_backend(4, backend="sv").name == "statevector"
+        assert select_backend(4, backend="tensornet").name == "mps"
+
+    def test_explicit_backend_validates_size(self):
+        with pytest.raises(ValueError):
+            select_backend(20, backend="density")
+        with pytest.raises(ValueError):
+            select_backend(40, backend="statevector")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            select_backend(4, backend="quantum-annealer")
+
+
+class TestEvaluateFidelity:
+    def test_noiseless_self_reference_is_one(self):
+        ev = evaluate_fidelity(_test_circuit())
+        assert ev.fidelity == pytest.approx(1.0, abs=1e-9)
+        assert ev.infidelity == pytest.approx(0.0, abs=1e-9)
+
+    def test_noise_reduces_fidelity(self):
+        c = _test_circuit()
+        noise = NoiseModel.non_pauli_gates(0.05)
+        ev = evaluate_fidelity(c, noise=noise)
+        assert ev.backend == "density"
+        assert 0.0 < ev.fidelity < 1.0
+
+    def test_large_circuit_through_mps(self):
+        n = 20
+        c = Circuit(n).h(0)
+        for i in range(n - 1):
+            c.cx(i, i + 1)
+        c.t(0).t(n - 1)
+        noise = NoiseModel.t_gates_only(0.5)
+        ev = evaluate_fidelity(
+            c, noise=noise, backend="mps", trajectories=20, seed=5
+        )
+        assert ev.backend == "mps"
+        assert ev.n_trajectories == 20
+        assert 0.0 <= ev.fidelity <= 1.0 + 1e-9
+        # Two 50%-depolarizing events must lose measurable fidelity.
+        assert ev.fidelity < 0.95
+
+
+class TestGateNameNormalization:
+    """Regression: noise must hit T gates in either capitalization."""
+
+    def test_canonical_name(self):
+        assert canonical_gate_name("T") == "t"
+        assert canonical_gate_name("Tdg") == "tdg"
+        assert canonical_gate_name("h") == "h"
+
+    def test_noise_model_matches_uppercase_gates(self):
+        m = NoiseModel.t_gates_only(1e-3)
+        assert m.noisy_qubits(Gate("t", (0,))) == (0,)
+        # Synthesis-layer capitalization must not dodge the noise.
+        assert m.applies_to(Gate("t", (0,)))
+        m2 = NoiseModel.non_pauli_gates(1e-3)
+        assert m2.applies_to(Gate("h", (0,)))
+        assert not m2.applies_to(Gate("x", (0,)))
+
+    def test_choi_applies_noise_for_ir_style_names(self):
+        # Same sequence, both capitalizations: identical noisy Choi.
+        upper = choi_of_sequence(["T", "H", "T"], logical_rate=1e-2)
+        lower = choi_of_sequence(["t", "h", "t"], logical_rate=1e-2)
+        assert np.allclose(upper, lower)
+
+    def test_choi_ir_style_noisy_gates_filter(self):
+        # Passing IR-style (lower-case) names as the noisy set must
+        # still apply noise to token-style sequences.
+        noisy = choi_of_sequence(
+            ["T", "H"], logical_rate=1e-2, noisy_gates=frozenset({"t"})
+        )
+        quiet = choi_of_sequence(["T", "H"], logical_rate=0.0)
+        assert not np.allclose(noisy, quiet)
+
+
+class TestSetStateValidation:
+    """Regression: set_state must raise, not assert."""
+
+    def test_shape_mismatch(self):
+        sim = DensityMatrixSimulator(2)
+        with pytest.raises(ValueError, match="shape"):
+            sim.set_state(np.eye(8, dtype=complex) / 8)
+
+    def test_non_square(self):
+        sim = DensityMatrixSimulator(2)
+        with pytest.raises(ValueError):
+            sim.set_state(np.ones((4, 2), dtype=complex))
+
+    def test_non_unit_trace(self):
+        sim = DensityMatrixSimulator(1)
+        with pytest.raises(ValueError, match="trace"):
+            sim.set_state(np.eye(2, dtype=complex))
+
+    def test_valid_state_accepted(self):
+        sim = DensityMatrixSimulator(1)
+        rho = np.array([[0.5, 0.0], [0.0, 0.5]], dtype=complex)
+        sim.set_state(rho)
+        assert np.allclose(sim.rho, rho)
+
+
+class TestCodeDistanceGuard:
+    """Regression: an unmeetable budget raises instead of returning 99+."""
+
+    def test_unmeetable_budget_raises(self):
+        from repro.resources import SurfaceCodeModel
+
+        model = SurfaceCodeModel(physical_error_rate=9.9e-3)
+        with pytest.raises(ValueError, match="distance"):
+            model.code_distance(1e-300, 100, 10**9)
+
+    def test_normal_budget_still_works(self):
+        from repro.resources import SurfaceCodeModel
+
+        d = SurfaceCodeModel().code_distance(1e-6, 10, 1000)
+        assert d % 2 == 1 and 3 <= d <= 99

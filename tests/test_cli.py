@@ -160,6 +160,34 @@ class TestCompileBatch:
         assert strip(serial) == strip(parallel)
 
 
+class TestSimulate:
+    def test_noiseless_fidelity_is_one(self, qasm_file, capsys):
+        rc = main(["simulate", str(qasm_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert float(_field(out, "fidelity")) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("backend", ["density", "statevector", "mps"])
+    def test_noisy_backends(self, qasm_file, backend, capsys):
+        rc = main([
+            "simulate", str(qasm_file), "--noise-rate", "0.01",
+            "--sim-backend", backend, "--trajectories", "50",
+            "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert _field(out, "backend") == backend
+        fid = float(_field(out, "fidelity"))
+        assert 0.0 <= fid <= 1.0
+        assert fid < 1.0 - 1e-6  # noise at 1% must be visible
+
+    def test_auto_dispatches_small_noisy_to_density(self, qasm_file, capsys):
+        rc = main(["simulate", str(qasm_file), "--noise-rate", "0.001"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert _field(out, "backend") == "density"
+
+
 class TestOtherCommands:
     def test_catalog(self, capsys):
         rc = main(["catalog", "--budget", "3"])
