@@ -1,0 +1,63 @@
+"""DAG optimization passes: before/after on a bench-suite circuit.
+
+Synthesizes a QFT from the benchmark suite to Clifford+T through the
+gridsynth workflow, then compares three post-synthesis treatments:
+
+1. none — the raw synthesis output,
+2. ``fold_phases`` — the original list-based PyZX stand-in (merges
+   phases only within textual adjacency of the parity terms),
+3. ``optimize_circuit`` — the commutation-aware DAG fixpoint
+   (cancel inverses / merge rotations / fold phases over wire edges).
+
+The DAG passes match the fold on T count and strictly win on depth:
+cancellations that textual adjacency hides (H·H pairs separated by
+independent-wire gates, phases folded to zero re-exposing their
+neighbors) shorten the critical path.  Run with:
+
+    PYTHONPATH=src python examples/dag_optimization.py
+"""
+
+from repro.bench_circuits import ft_algorithms as ft
+from repro.circuits import CircuitDAG, depth, t_count, t_depth
+from repro.optimizers import fold_phases, optimize_circuit
+from repro.pipeline import compile_circuit
+
+EPS = 0.03
+
+
+def report(label, circuit):
+    print(
+        f"{label:18s} gates={len(circuit.gates):5d} "
+        f"T={t_count(circuit):4d} T-depth={t_depth(circuit):4d} "
+        f"depth={depth(circuit):5d}"
+    )
+    return circuit
+
+
+def main():
+    bench = ft.qft(4)
+    print(f"bench circuit: qft_n4 ({len(bench.gates)} gates)")
+    synthesized = compile_circuit(
+        bench, workflow="gridsynth", eps=EPS, seed=0
+    ).circuit
+
+    report("raw synthesis", synthesized)
+    folded = report("fold_phases", fold_phases(synthesized))
+    dagged = report("DAG passes", optimize_circuit(synthesized))
+
+    assert t_count(dagged) <= t_count(folded)
+    assert depth(dagged) < depth(folded)
+
+    layers = CircuitDAG.from_circuit(dagged).as_layers()
+    widths = [len(layer) for layer in layers]
+    print(
+        f"\nfront-layer schedule: {len(layers)} layers, "
+        f"max width {max(widths)} "
+        f"(the layer-batched stream the simulators consume)"
+    )
+    saved = depth(folded) - depth(dagged)
+    print(f"depth saved over fold_phases: {saved} layers")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,8 +18,9 @@ Quickstart::
     print(ours.t_count, "T gates vs", baseline.t_count)
 """
 
-from repro.circuits import Circuit
+from repro.circuits import Circuit, CircuitDAG
 from repro.enumeration import build_table, get_table
+from repro.optimizers import optimize_circuit
 from repro.linalg import haar_random_u2, rz, trace_distance, u3
 from repro.pipeline import (
     PassManager,
@@ -36,6 +37,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "Circuit",
+    "CircuitDAG",
     "GateSequence",
     "PassManager",
     "SynthesisCache",
@@ -46,6 +48,7 @@ __all__ = [
     "gridsynth_rz",
     "gridsynth_u3",
     "haar_random_u2",
+    "optimize_circuit",
     "preset_pipeline",
     "rz",
     "synthesize",

@@ -1,20 +1,28 @@
 """Quantum circuit intermediate representation and resource metrics."""
 
 from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.dag import CircuitDAG, DAGNode
 from repro.circuits.drawing import draw
 from repro.circuits.metrics import (
     clifford_count,
+    critical_path,
+    depth,
     is_trivial_angle,
     rotation_count,
     t_count,
     t_depth,
+    two_qubit_depth,
 )
 from repro.circuits.qasm import from_qasm, to_qasm
 
 __all__ = [
     "Circuit",
+    "CircuitDAG",
+    "DAGNode",
     "Gate",
     "clifford_count",
+    "critical_path",
+    "depth",
     "draw",
     "from_qasm",
     "is_trivial_angle",
@@ -22,4 +30,5 @@ __all__ = [
     "t_count",
     "t_depth",
     "to_qasm",
+    "two_qubit_depth",
 ]

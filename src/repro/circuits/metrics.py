@@ -1,7 +1,9 @@
 """Resource metrics from the paper's evaluation section.
 
 * ``t_count``   — number of T/Tdg gates.
-* ``t_depth``   — T count along the critical path (paper metric (2)).
+* ``t_depth``   — T gates on the critical path (paper metric (2)).
+* ``depth``     — gates on the critical path (circuit depth).
+* ``two_qubit_depth`` — 2q gates on the critical path.
 * ``clifford_count`` — single-qubit non-Pauli Cliffords: H, S, Sdg.
   Paulis are free in error-corrected execution, and the two-qubit
   skeleton (CX/CZ/SWAP) is identical across synthesis workflows, so the
@@ -9,33 +11,81 @@
 * ``rotation_count`` — "nontrivial" rotations: angles that are not
   integer multiples of pi/4 (those need substantial T sequences; exact
   multiples synthesize with at most one T — paper footnote 3).
+
+All depth-family metrics are longest-path queries over the dependency
+DAG (:class:`repro.circuits.dag.CircuitDAG`), sharing one traversal
+implementation (:meth:`CircuitDAG.longest_path`);
+:func:`critical_path` exposes the winning dependency chain itself.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Callable
 
 from repro.circuits.circuit import ROTATION_GATES, Circuit, Gate
+from repro.circuits.dag import CircuitDAG
 
 _T_NAMES = frozenset({"t", "tdg"})
 _CLIFFORD_NAMES = frozenset({"h", "s", "sdg"})
 _QUARTER = math.pi / 4.0
+
+#: Per-gate weights for the longest-path metric family.
+_WEIGHTS: dict[str, Callable[[Gate], float]] = {
+    "depth": lambda g: 1.0,
+    "t": lambda g: 1.0 if g.name in _T_NAMES else 0.0,
+    "2q": lambda g: 1.0 if len(g.qubits) == 2 else 0.0,
+}
+
+
+def _longest(circuit: Circuit | CircuitDAG, weight: str) -> int:
+    dag = (
+        circuit
+        if isinstance(circuit, CircuitDAG)
+        else CircuitDAG.from_circuit(circuit)
+    )
+    length, _ = dag.longest_path(_WEIGHTS[weight])
+    return int(length)
 
 
 def t_count(circuit: Circuit) -> int:
     return sum(1 for g in circuit.gates if g.name in _T_NAMES)
 
 
-def t_depth(circuit: Circuit) -> int:
-    """T gates on the critical path (longest chain through the DAG)."""
-    depths = [0] * circuit.n_qubits
-    for g in circuit.gates:
-        d = max(depths[q] for q in g.qubits)
-        if g.name in _T_NAMES:
-            d += 1
-        for q in g.qubits:
-            depths[q] = d
-    return max(depths, default=0)
+def t_depth(circuit: Circuit | CircuitDAG) -> int:
+    """T gates on the critical path: a DAG longest-path query."""
+    return _longest(circuit, "t")
+
+
+def depth(circuit: Circuit | CircuitDAG) -> int:
+    """Circuit depth: longest dependency chain counting every gate."""
+    return _longest(circuit, "depth")
+
+
+def two_qubit_depth(circuit: Circuit | CircuitDAG) -> int:
+    """2q gates (CX/CZ/SWAP) on the critical path."""
+    return _longest(circuit, "2q")
+
+
+def critical_path(
+    circuit: Circuit | CircuitDAG, weight: str = "depth"
+) -> list[Gate]:
+    """The gates of the heaviest dependency chain.
+
+    ``weight`` selects the metric: ``'depth'`` (every gate), ``'t'``
+    (T/Tdg only), or ``'2q'`` (two-qubit gates only).  Zero-weight
+    gates on the winning chain are included, so the returned list is an
+    executable dependency path.
+    """
+    if weight not in _WEIGHTS:
+        raise ValueError(f"weight must be one of {sorted(_WEIGHTS)}")
+    dag = (
+        circuit
+        if isinstance(circuit, CircuitDAG)
+        else CircuitDAG.from_circuit(circuit)
+    )
+    _, path = dag.longest_path(_WEIGHTS[weight])
+    return [node.gate for node in path]
 
 
 def clifford_count(circuit: Circuit) -> int:

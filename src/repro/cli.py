@@ -60,8 +60,13 @@ def _load_cache(path: str | None):
     return SynthesisCache()
 
 
+def _parse_level(value: str) -> int | str:
+    """CLI optimization level: 0-4 or the grid-searching 'best'."""
+    return value if value == "best" else int(value)
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
-    from repro.circuits import t_count, t_depth, clifford_count
+    from repro.circuits import clifford_count, depth, t_count, t_depth
     from repro.circuits.qasm import from_qasm, to_qasm
     from repro.pipeline import compile_circuit
 
@@ -70,12 +75,13 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     cache = _load_cache(args.cache_file)
     result = compile_circuit(
         circuit, workflow=args.workflow, eps=args.eps, cache=cache,
-        seed=args.seed,
+        seed=args.seed, optimization_level=args.optimization_level,
     )
     out = result.circuit
     print(f"rotations synthesized : {result.n_rotations}")
     print(f"T count               : {t_count(out)}")
     print(f"T depth               : {t_depth(out)}")
+    print(f"circuit depth         : {depth(out)}")
     print(f"Clifford count        : {clifford_count(out)}")
     print(f"synthesis error bound : {result.total_synthesis_error:.3e}")
     if args.output:
@@ -102,6 +108,7 @@ def _cmd_compile_batch(args: argparse.Namespace) -> int:
     batch = compile_batch(
         circuits, workflow=args.workflow, eps=args.eps, cache=cache,
         seed=args.seed, max_workers=args.jobs,
+        optimization_level=args.optimization_level,
     )
     stats = cache.stats()
     for path, result in zip(args.inputs, batch.results):
@@ -211,6 +218,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="trasyn")
     p.add_argument("--eps", type=float, default=0.007)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-O", "--optimization-level", type=_parse_level,
+                   choices=(0, 1, 2, 3, 4, "best"), default="best",
+                   help="transpile preset 0-4 (4 = DAG passes) or the "
+                        "fewest-rotations grid search (default)")
     p.add_argument("--output", default=None)
     p.add_argument("--cache-file", default=None,
                    help="JSON synthesis cache to reuse and update")
@@ -225,6 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="trasyn")
     p.add_argument("--eps", type=float, default=0.007)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-O", "--optimization-level", type=_parse_level,
+                   choices=(0, 1, 2, 3, 4, "best"), default="best",
+                   help="transpile preset 0-4 (4 = DAG passes) or the "
+                        "fewest-rotations grid search (default)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker threads (default: one per circuit, "
                         "capped at CPU count)")

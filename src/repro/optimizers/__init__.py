@@ -1,13 +1,33 @@
-"""Post-synthesis circuit optimizers: the PyZX and BQSKit substitutes."""
+"""Post-synthesis circuit optimizers: the PyZX and BQSKit substitutes.
 
+The list-based :func:`fold_phases` remains as the paper's original
+PyZX stand-in; the DAG passes of :mod:`repro.optimizers.dag_passes`
+(:func:`optimize_circuit` and friends) are the stronger
+commutation-aware optimizer built on :class:`repro.circuits.CircuitDAG`.
+"""
+
+from repro.optimizers.dag_passes import (
+    cancel_inverses,
+    collect_two_qubit_blocks,
+    fold_phases_dag,
+    merge_rotations,
+    optimize_circuit,
+    optimize_dag,
+)
 from repro.optimizers.kak import KAKDecomposition, kak_decompose
 from repro.optimizers.phase_folding import fold_phases
 from repro.optimizers.resynth import partition_two_qubit_blocks, resynthesize
 
 __all__ = [
     "KAKDecomposition",
+    "cancel_inverses",
+    "collect_two_qubit_blocks",
     "fold_phases",
+    "fold_phases_dag",
     "kak_decompose",
+    "merge_rotations",
+    "optimize_circuit",
+    "optimize_dag",
     "partition_two_qubit_blocks",
     "resynthesize",
 ]

@@ -67,11 +67,25 @@ def partition_two_qubit_blocks(circuit: Circuit) -> list[tuple[tuple[int, int], 
     return blocks
 
 
-def resynthesize(circuit: Circuit) -> Circuit:
-    """Re-instantiate every two-qubit block through KAK (BQSKit analogue)."""
+def resynthesize(circuit: Circuit, dag_blocks: bool = False) -> Circuit:
+    """Re-instantiate every two-qubit block through KAK (BQSKit analogue).
+
+    ``dag_blocks=True`` collects blocks through the dependency-aware
+    traversal of
+    :func:`repro.optimizers.dag_passes.collect_two_qubit_blocks`, which
+    groups same-pair gates that the flat gate list interleaves with
+    independent wires — fewer, larger blocks, same unitary.
+    """
+    if dag_blocks:
+        from repro.circuits.dag import CircuitDAG
+        from repro.optimizers.dag_passes import collect_two_qubit_blocks
+
+        blocks = collect_two_qubit_blocks(CircuitDAG.from_circuit(circuit))
+    else:
+        blocks = partition_two_qubit_blocks(circuit)
     out = Circuit(circuit.n_qubits, name=circuit.name + "_resynth")
     rng = np.random.default_rng(11)
-    for pair, gates in partition_two_qubit_blocks(circuit):
+    for pair, gates in blocks:
         if pair[0] == pair[1]:
             _emit_local(out, _product_1q(gates), pair[0])
             continue

@@ -4,9 +4,12 @@ The architectural seam between the paper's algorithms and a production
 compiler service:
 
 * :class:`Pass` / :class:`PassManager` — the transpiler rewrites as
-  composable objects with per-pass metrics,
-* :func:`preset_pipeline` — the paper's optimization levels 0-3 for
-  both target IRs as ready-made pipelines,
+  composable objects with per-pass metrics, including the DAG passes
+  (:class:`CancelInverses`, :class:`MergeRotations`,
+  :class:`FoldPhases`, :class:`DagOptimize`) running on
+  :class:`repro.circuits.CircuitDAG`,
+* :func:`preset_pipeline` — the paper's optimization levels 0-3 plus
+  the DAG-pass level 4, for both target IRs as ready-made pipelines,
 * :class:`SynthesisCache` — a thread-safe LRU of synthesized rotations
   with JSON persistence,
 * :func:`compile_circuit` / :func:`compile_batch` — the end-to-end
@@ -31,10 +34,15 @@ from repro.pipeline.cache import (
 )
 from repro.pipeline.passes import (
     CancelInversePairs,
+    CancelInverses,
     CommuteRotations,
+    DAGPass,
+    DagOptimize,
     DecomposeToRzBasis,
+    FoldPhases,
     FunctionPass,
     IsolateU3,
+    MergeRotations,
     MergeRuns,
     Pass,
     PassManager,
@@ -56,11 +64,16 @@ __all__ = [
     "CacheStats",
     "best_preset_lowering",
     "CancelInversePairs",
+    "CancelInverses",
     "CommuteRotations",
+    "DAGPass",
+    "DagOptimize",
     "DEFAULT_EPS",
     "DecomposeToRzBasis",
+    "FoldPhases",
     "FunctionPass",
     "IsolateU3",
+    "MergeRotations",
     "MergeRuns",
     "OPTIMIZATION_LEVELS",
     "Pass",

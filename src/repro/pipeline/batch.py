@@ -219,8 +219,9 @@ def compile_circuit(
         ``'trasyn'`` (CX+U3 lowering, direct U3 synthesis) or
         ``'gridsynth'`` (CX+H+Rz lowering, Rz synthesis).
     optimization_level:
-        0-3 selects one preset; ``'best'`` (default) searches the preset
-        grid for the fewest-rotations lowering.
+        0-4 selects one preset (4 = the paper's level 3 plus the DAG
+        cancel/merge/fold fixpoint); ``'best'`` (default) searches the
+        full preset grid for the fewest-rotations lowering.
     commutation:
         Pin the commutation pass on/off; ``None`` means "off" for fixed
         levels and "search both" for ``'best'``.

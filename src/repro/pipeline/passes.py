@@ -15,7 +15,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
-from repro.circuits import Circuit, rotation_count
+from repro.circuits import Circuit, CircuitDAG, rotation_count
+from repro.optimizers.dag_passes import (
+    cancel_inverses,
+    fold_phases_dag,
+    merge_rotations,
+    optimize_dag,
+)
 from repro.transpiler.passes import (
     _isolate_1q,
     cancel_inverse_pairs,
@@ -117,6 +123,65 @@ class IsolateU3(Pass):
 
     def run(self, circuit: Circuit) -> Circuit:
         return _isolate_1q(circuit)
+
+
+class DAGPass(Pass):
+    """A rewrite running natively on the dependency DAG.
+
+    Subclasses implement :meth:`run_dag` over a
+    :class:`~repro.circuits.CircuitDAG`; the base class handles the
+    Circuit→DAG→Circuit conversion so DAG passes drop into any
+    :class:`PassManager` beside the list-based ones.
+    """
+
+    name = "dag_pass"
+
+    def run_dag(self, dag: CircuitDAG) -> None:
+        raise NotImplementedError
+
+    def run(self, circuit: Circuit) -> Circuit:
+        dag = CircuitDAG.from_circuit(circuit)
+        self.run_dag(dag)
+        return dag.to_circuit()
+
+
+class CancelInverses(DAGPass):
+    """Wire-adjacent inverse cancellation on the DAG (to fixpoint)."""
+
+    name = "cancel_inverses"
+
+    def run_dag(self, dag: CircuitDAG) -> None:
+        cancel_inverses(dag)
+
+
+class MergeRotations(DAGPass):
+    """Wire-adjacent rotation merging: rz·rz → rz, u3·u3 fusion."""
+
+    name = "merge_rotations"
+
+    def run_dag(self, dag: CircuitDAG) -> None:
+        merge_rotations(dag)
+
+
+class FoldPhases(DAGPass):
+    """Commutation-aware parity phase folding on the DAG."""
+
+    name = "fold_phases"
+
+    def run_dag(self, dag: CircuitDAG) -> None:
+        fold_phases_dag(dag)
+
+
+class DagOptimize(DAGPass):
+    """The combined cancel/merge/fold fixpoint loop (level-4 core)."""
+
+    name = "dag_optimize"
+
+    def __init__(self, max_rounds: int = 8):
+        self.max_rounds = max_rounds
+
+    def run_dag(self, dag: CircuitDAG) -> None:
+        optimize_dag(dag, max_rounds=self.max_rounds)
 
 
 @dataclass(frozen=True)

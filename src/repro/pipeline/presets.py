@@ -3,7 +3,10 @@
 :func:`preset_pipeline` builds the exact pass sequence that
 :func:`repro.transpiler.transpile` historically hard-coded, for both
 target IRs (CX+U3 for trasyn, CX+H+Rz for gridsynth) at optimization
-levels 0-3, with the optional commutation pass of Figure 6.
+levels 0-3, with the optional commutation pass of Figure 6.  Level 4
+goes beyond the paper: the level-3 sequence plus the commutation-aware
+DAG fixpoint (cancel inverses / merge rotations / fold phases) of
+:mod:`repro.optimizers.dag_passes`.
 :func:`repro.transpiler.transpile` itself now delegates here, so the
 presets *are* the reference lowering semantics.
 """
@@ -16,6 +19,7 @@ from repro.circuits import Circuit, rotation_count
 from repro.pipeline.passes import (
     CancelInversePairs,
     CommuteRotations,
+    DagOptimize,
     DecomposeToRzBasis,
     IsolateU3,
     MergeRuns,
@@ -25,20 +29,24 @@ from repro.pipeline.passes import (
 )
 
 BASES = ("u3", "rz")
-OPTIMIZATION_LEVELS = (0, 1, 2, 3)
+OPTIMIZATION_LEVELS = (0, 1, 2, 3, 4)
 
-# Optimization-level cores shared by both bases (paper Section 3.4).
+# Optimization-level cores shared by both bases (paper Section 3.4;
+# level 4 adds the commutation-aware DAG fixpoint of
+# :mod:`repro.optimizers.dag_passes` on top of the paper's level 3).
 _LEVEL_PASSES: dict[int, tuple[str, ...]] = {
     0: (),
     1: ("merge",),
     2: ("cancel", "merge", "snap"),
     3: ("cancel", "merge", "snap", "cancel", "merge"),
+    4: ("cancel", "merge", "snap", "cancel", "merge", "dag"),
 }
 
 _STEP_FACTORY = {
     "merge": MergeRuns,
     "cancel": CancelInversePairs,
     "snap": SnapTrivialRotations,
+    "dag": DagOptimize,
 }
 
 
@@ -50,12 +58,14 @@ def preset_pipeline(
     """The pass sequence lowering a circuit to ``basis`` at a level.
 
     ``basis='u3'`` ends in CX+U3 (the trasyn workflow input);
-    ``basis='rz'`` ends in CX+H+Rz (the gridsynth workflow input).
+    ``basis='rz'`` ends in CX+H+Rz (the gridsynth workflow input,
+    where level 4 re-runs the DAG fixpoint after lowering so phases
+    fold through the freshly exposed CX/Rz stream).
     """
     if basis not in BASES:
         raise ValueError("basis must be 'u3' or 'rz'")
     if optimization_level not in _LEVEL_PASSES:
-        raise ValueError("optimization_level must be 0..3")
+        raise ValueError("optimization_level must be 0..4")
     passes: list[Pass] = [SnapTrivialRotations()]
     if commutation:
         passes.append(CommuteRotations())
@@ -65,6 +75,10 @@ def preset_pipeline(
     if basis == "rz":
         passes.append(DecomposeToRzBasis())
         passes.append(CancelInversePairs())
+        if optimization_level >= 4:
+            # Fold the lowered Rz stream itself: phases merge through
+            # the CX skeleton that decomposition just exposed.
+            passes.append(DagOptimize())
     elif optimization_level == 0:
         # Level 0 converts each 1q gate separately — no run fusion.
         passes.append(IsolateU3())
@@ -102,5 +116,8 @@ def best_preset_lowering(
         n = rotation_count(cand)
         if best is None or n < best[0]:
             best = (n, cand)
-    assert best is not None
+    if best is None:
+        # Reachable only when ``commutation`` filters out every preset
+        # (asserts would vanish under ``python -O``).
+        raise RuntimeError("preset grid produced no candidate lowering")
     return best[1]

@@ -14,7 +14,8 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.circuits.circuit import Circuit
+from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.dag import CircuitDAG
 from repro.sim.noise import NoiseModel
 from repro.tensornet.circuit_mps import CircuitMPS
 
@@ -25,6 +26,44 @@ _ITEMSIZE = 16
 def is_noisy(noise: NoiseModel | None) -> bool:
     """True when the model would actually inject Kraus channels."""
     return noise is not None and noise.rate > 0.0
+
+
+def gate_schedule(
+    circuit: Circuit, layered: bool
+) -> list[list[tuple[int, Gate]]]:
+    """The gate stream an engine drives, as layers of ``(position, gate)``.
+
+    ``layered=True`` computes the front-layer (ASAP) schedule from the
+    dependency DAG: gates within a layer act on pairwise-disjoint
+    qubits, so an engine may apply a whole layer — and then the layer's
+    noise events, in flat-list order — without changing the sequential
+    semantics.  ``position`` is the gate's index in ``circuit.gates``,
+    which keys the noise-event offsets: a trajectory consumes the same
+    uniform for the same gate under either schedule, so layered and
+    sequential runs of one seed produce identical fidelities.
+    ``layered=False`` degrades to one gate per layer, in flat order.
+    """
+    if not layered:
+        return [[(i, g)] for i, g in enumerate(circuit.gates)]
+    layers = CircuitDAG.from_circuit(circuit).as_layers()
+    return [[(n.id, n.gate) for n in layer] for layer in layers]
+
+
+def noise_event_offsets(
+    circuit: Circuit, noise: NoiseModel | None
+) -> list[int]:
+    """Per-gate start index into the pre-drawn uniform event matrix.
+
+    Offsets follow the flat gate order regardless of scheduling, so the
+    (gate, trajectory) → uniform pairing is schedule-invariant.
+    """
+    offsets = []
+    event = 0
+    for g in circuit.gates:
+        offsets.append(event)
+        if is_noisy(noise):
+            event += len(noise.noisy_qubits(g))
+    return offsets
 
 
 def reference_statevector(reference, n_qubits: int) -> np.ndarray:

@@ -26,7 +26,9 @@ from repro.sim.backends.base import (
     _ITEMSIZE,
     SimulationResult,
     SimulatorBackend,
+    gate_schedule,
     is_noisy,
+    noise_event_offsets,
 )
 from repro.sim.backends.statevector import (
     _as_unitary_mixture,
@@ -115,6 +117,7 @@ class MPSBackend(SimulatorBackend):
         seed: int = 0,
         svd_cutoff: float = 1e-12,
         max_workers: int | None = None,
+        layered: bool = False,
     ):
         if trajectories < 1:
             raise ValueError("need at least one trajectory")
@@ -123,6 +126,11 @@ class MPSBackend(SimulatorBackend):
         self.seed = int(seed)
         self.svd_cutoff = float(svd_cutoff)
         self.max_workers = max_workers
+        # Layer-batched application via the DAG front-layer schedule.
+        # Exact when nothing truncates; under aggressive bond caps the
+        # truncation sequence differs from the flat order, so layering
+        # is opt-in here (unlike the exact statevector engine).
+        self.layered = bool(layered)
 
     def supports(self, n_qubits: int, noisy: bool) -> bool:
         return True  # linear memory: the backend of last resort
@@ -148,14 +156,17 @@ class MPSBackend(SimulatorBackend):
         if is_noisy(noise):
             kraus = depolarizing_kraus(noise.rate)
             mixture = _as_unitary_mixture(kraus)
-        event = 0
-        for gate in circuit.gates:
-            mps.apply_gate(gate)
+        offsets = noise_event_offsets(circuit, noise)
+        for layer in gate_schedule(circuit, self.layered):
+            for _, gate in layer:
+                mps.apply_gate(gate)
             if kraus is None:
                 continue
-            for q in noise.noisy_qubits(gate):
-                self._kraus_event(mps, kraus, mixture, q, uniforms[event])
-                event += 1
+            for pos, gate in layer:
+                for j, q in enumerate(noise.noisy_qubits(gate)):
+                    self._kraus_event(
+                        mps, kraus, mixture, q, uniforms[offsets[pos] + j]
+                    )
         return mps
 
     @staticmethod

@@ -38,7 +38,9 @@ from repro.sim.backends.base import (
     _ITEMSIZE,
     SimulationResult,
     SimulatorBackend,
+    gate_schedule,
     is_noisy,
+    noise_event_offsets,
     reference_statevector,
 )
 from repro.sim.noise import NoiseModel, depolarizing_kraus
@@ -189,6 +191,7 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
         max_qubits: int = 24,
         chunk_size: int = 64,
         max_workers: int | None = None,
+        layered: bool = True,
     ):
         if trajectories < 1:
             raise ValueError("need at least one trajectory")
@@ -197,6 +200,11 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
         self.max_qubits = max_qubits
         self.chunk_size = max(1, int(chunk_size))
         self.max_workers = max_workers
+        # Layer-batched application: the DAG front-layer schedule is
+        # computed once per run (not per chunk) and noise-event offsets
+        # stay keyed by flat gate position, so results match the
+        # sequential stream for any chunking or worker count.
+        self.layered = bool(layered)
 
     def supports(self, n_qubits: int, noisy: bool) -> bool:
         return n_qubits <= self.max_qubits
@@ -213,12 +221,21 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
     # -- execution ---------------------------------------------------------
     def _run_chunk(
         self,
-        circuit: Circuit,
+        schedule: list[list[tuple[int, Gate]]],
+        offsets: list[int],
+        n: int,
         noise: NoiseModel | None,
         uniforms: np.ndarray,
     ) -> np.ndarray:
-        """Drive ``uniforms.shape[0]`` trajectories as one stacked array."""
-        n = circuit.n_qubits
+        """Drive ``uniforms.shape[0]`` trajectories as one stacked array.
+
+        ``schedule`` is the (possibly layer-batched) gate stream from
+        :func:`gate_schedule`; each layer's gates are applied back to
+        back and the layer's noise events follow in flat-list order —
+        gates within a layer act on disjoint qubits, so this equals the
+        sequential stream.  ``offsets[pos]`` indexes the uniform column
+        of gate ``pos``'s first noise event.
+        """
         k = uniforms.shape[0]
         states = np.zeros((k,) + (2,) * n, dtype=complex)
         states[(slice(None),) + (0,) * n] = 1.0
@@ -226,15 +243,16 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
         if is_noisy(noise):
             kraus = depolarizing_kraus(noise.rate)
             mixture = _as_unitary_mixture(kraus)
-        event = 0
-        for gate in circuit.gates:
-            states = _apply_gate_batch(states, gate)
+        for layer in schedule:
+            for _, gate in layer:
+                states = _apply_gate_batch(states, gate)
             if kraus is not None:
-                for q in noise.noisy_qubits(gate):
-                    states = _apply_kraus_mc(
-                        states, kraus, mixture, q, uniforms[:, event]
-                    )
-                    event += 1
+                for pos, gate in layer:
+                    for j, q in enumerate(noise.noisy_qubits(gate)):
+                        states = _apply_kraus_mc(
+                            states, kraus, mixture, q,
+                            uniforms[:, offsets[pos] + j],
+                        )
         return states.reshape(k, -1)
 
     def run(
@@ -246,10 +264,17 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
                 f"refused (limit {self.max_qubits})"
             )
         start = time.monotonic()
+        # The schedule and event offsets are computed once per run and
+        # shared by every chunk/worker.
+        schedule = gate_schedule(circuit, self.layered)
+        event_offsets = noise_event_offsets(circuit, noise)
         n_events = _count_noise_events(circuit, noise)
         if n_events == 0:
             # Deterministic evolution: every trajectory is identical.
-            states = self._run_chunk(circuit, None, np.empty((1, 0)))
+            states = self._run_chunk(
+                schedule, event_offsets, circuit.n_qubits, None,
+                np.empty((1, 0)),
+            )
             return TrajectoryResult(
                 states, circuit.n_qubits, self.seed,
                 time.monotonic() - start,
@@ -272,7 +297,7 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
         def job(lo: int) -> None:
             rows = uniforms[lo : lo + self.chunk_size]
             states[lo : lo + rows.shape[0]] = self._run_chunk(
-                circuit, noise, rows
+                schedule, event_offsets, circuit.n_qubits, noise, rows
             )
 
         map_parallel(job, offsets, self.max_workers)

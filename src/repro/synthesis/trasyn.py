@@ -356,7 +356,10 @@ def trasyn(
                 best = cand
             if error_threshold is not None and best.error < error_threshold:
                 return best
-    assert best is not None
+    if best is None:
+        # An empty schedule yields no candidates; raise rather than
+        # assert (asserts vanish under ``python -O``).
+        raise RuntimeError("trasyn schedule produced no candidate sequence")
     return best
 
 

@@ -238,12 +238,15 @@ def transpile(
     optimization_level: int = 1,
     commutation: bool = False,
 ) -> Circuit:
-    """Lower ``circuit`` to the chosen IR at an optimization level (0-3).
+    """Lower ``circuit`` to the chosen IR at an optimization level (0-4).
 
     ``basis='u3'`` produces CX+U3 (the trasyn workflow input);
     ``basis='rz'`` produces CX+H+Rz (the gridsynth workflow input).
     ``commutation`` additionally runs the Rz/Rx-through-CX pass before
-    merging, which is where the U3 IR gains most (Figure 6).
+    merging, which is where the U3 IR gains most (Figure 6).  Level 4
+    extends the paper's level 3 with the commutation-aware DAG fixpoint
+    (cancel inverses / merge rotations / fold phases) of
+    :mod:`repro.optimizers.dag_passes`.
 
     The pass sequence per level lives in
     :mod:`repro.pipeline.presets`; this function is sugar for

@@ -1,0 +1,204 @@
+"""CircuitDAG IR: roundtrips, wire edges, layers, longest-path metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Circuit,
+    CircuitDAG,
+    critical_path,
+    depth,
+    t_count,
+    t_depth,
+    two_qubit_depth,
+)
+from repro.circuits.circuit import Gate
+from repro.linalg import trace_distance
+
+_DISCRETE = ["h", "s", "sdg", "t", "tdg", "x", "y", "z"]
+
+
+def _random_circuit(seed: int, max_qubits: int = 4, max_gates: int = 40):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, max_qubits + 1))
+    c = Circuit(n)
+    for _ in range(int(rng.integers(0, max_gates))):
+        r = rng.random()
+        if n >= 2 and r < 0.3:
+            a, b = rng.choice(n, size=2, replace=False)
+            c.append(str(rng.choice(["cx", "cz", "swap"])), (int(a), int(b)))
+        elif r < 0.5:
+            c.append(
+                str(rng.choice(["rx", "ry", "rz"])),
+                int(rng.integers(0, n)),
+                (float(rng.normal()),),
+            )
+        elif r < 0.6:
+            c.u3(
+                float(rng.normal()), float(rng.normal()), float(rng.normal()),
+                int(rng.integers(0, n)),
+            )
+        else:
+            c.append(str(rng.choice(_DISCRETE)), int(rng.integers(0, n)))
+    return c
+
+
+def _legacy_t_depth(circuit: Circuit) -> int:
+    depths = [0] * circuit.n_qubits
+    for g in circuit.gates:
+        d = max(depths[q] for q in g.qubits)
+        if g.name in ("t", "tdg"):
+            d += 1
+        for q in g.qubits:
+            depths[q] = d
+    return max(depths, default=0)
+
+
+class TestRoundtrip:
+    @given(st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_gate_list_identity(self, seed):
+        c = _random_circuit(seed)
+        rt = CircuitDAG.from_circuit(c).to_circuit()
+        assert rt.gates == c.gates
+        assert rt.n_qubits == c.n_qubits
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_preserves_unitary(self, seed):
+        c = _random_circuit(seed, max_gates=20)
+        rt = CircuitDAG.from_circuit(c).to_circuit()
+        # trace_distance saturates around 1e-8 even for bit-identical
+        # unitaries (sqrt(1 - t^2) near t = 1).
+        assert trace_distance(c.unitary(), rt.unitary()) < 1e-6
+
+    def test_empty_circuit(self):
+        dag = CircuitDAG.from_circuit(Circuit(3))
+        assert len(dag) == 0
+        assert dag.to_circuit().gates == []
+        assert dag.as_layers() == []
+
+
+class TestWireEdges:
+    def test_pred_succ_access(self):
+        c = Circuit(2).h(0).cx(0, 1).t(1)
+        dag = CircuitDAG.from_circuit(c)
+        h, cx, t = dag.node(0), dag.node(1), dag.node(2)
+        assert dag.succ(h.id, 0) is cx
+        assert dag.pred(cx.id, 0) is h
+        assert dag.pred(cx.id, 1) is None
+        assert dag.succ(cx.id, 1) is t
+        assert dag.succ(cx.id, 0) is None
+        assert [n.id for n in dag.predecessors(cx.id)] == [h.id]
+        assert [n.id for n in dag.successors(cx.id)] == [t.id]
+
+    def test_wire_iteration(self):
+        c = Circuit(2).h(0).t(1).cx(0, 1).s(0)
+        dag = CircuitDAG.from_circuit(c)
+        assert [n.gate.name for n in dag.wire(0)] == ["h", "cx", "s"]
+        assert [n.gate.name for n in dag.wire(1)] == ["t", "cx"]
+
+    def test_remove_splices_wire(self):
+        c = Circuit(1).h(0).t(0).s(0)
+        dag = CircuitDAG.from_circuit(c)
+        dag.remove_node(1)  # drop the T
+        assert [g.name for g in dag.to_circuit().gates] == ["h", "s"]
+        assert dag.succ(0, 0).gate.name == "s"
+        assert dag.pred(2, 0).gate.name == "h"
+
+    def test_substitute_1q(self):
+        c = Circuit(2).h(0).rz(0.5, 0).cx(0, 1)
+        dag = CircuitDAG.from_circuit(c)
+        dag.substitute_1q(1, [Gate("s", (0,)), Gate("t", (0,))])
+        assert [g.name for g in dag.to_circuit().gates] == [
+            "h", "s", "t", "cx"
+        ]
+        dag2 = CircuitDAG.from_circuit(c)
+        dag2.substitute_1q(1, [])
+        assert [g.name for g in dag2.to_circuit().gates] == ["h", "cx"]
+
+    def test_substitute_rejects_2q(self):
+        dag = CircuitDAG.from_circuit(Circuit(2).cx(0, 1))
+        with pytest.raises(ValueError):
+            dag.substitute_1q(0, [])
+
+    def test_set_gate_same_qubits_only(self):
+        dag = CircuitDAG.from_circuit(Circuit(2).h(0))
+        with pytest.raises(ValueError):
+            dag.set_gate(0, Gate("h", (1,)))
+
+
+class TestLayers:
+    def test_layers_are_disjoint_antichains(self):
+        c = _random_circuit(7, max_qubits=4, max_gates=30)
+        layers = CircuitDAG.from_circuit(c).as_layers()
+        assert sum(len(ly) for ly in layers) == len(c.gates)
+        for layer in layers:
+            seen = set()
+            for node in layer:
+                assert not (set(node.gate.qubits) & seen)
+                seen.update(node.gate.qubits)
+
+    def test_layer_count_equals_depth(self):
+        for seed in (1, 2, 3, 11):
+            c = _random_circuit(seed)
+            layers = CircuitDAG.from_circuit(c).as_layers()
+            assert len(layers) == depth(c)
+
+    def test_parallel_gates_share_layer(self):
+        c = Circuit(3).h(0).h(1).h(2).cx(0, 1)
+        layers = CircuitDAG.from_circuit(c).as_layers()
+        assert [len(ly) for ly in layers] == [3, 1]
+
+
+class TestMetrics:
+    @given(st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_t_depth_matches_legacy_counter(self, seed):
+        c = _random_circuit(seed)
+        assert t_depth(c) == _legacy_t_depth(c)
+
+    def test_depth_examples(self):
+        assert depth(Circuit(2)) == 0
+        assert depth(Circuit(2).h(0).h(1)) == 1
+        assert depth(Circuit(2).h(0).cx(0, 1).t(1)) == 3
+
+    def test_two_qubit_depth(self):
+        c = Circuit(3).cx(0, 1).cx(1, 2).h(0).cx(0, 1)
+        assert two_qubit_depth(c) == 3
+        c2 = Circuit(4).cx(0, 1).cx(2, 3)
+        assert two_qubit_depth(c2) == 1
+
+    def test_t_depth_parallel_wires(self):
+        c = Circuit(2).t(0).t(1)
+        assert t_depth(c) == 1
+        assert t_count(c) == 2
+
+    def test_critical_path_is_dependency_chain(self):
+        c = Circuit(3).h(0).t(0).cx(0, 1).t(1).cx(1, 2).t(2)
+        path = critical_path(c)
+        assert len(path) == depth(c)
+        # Consecutive path gates share a qubit (executable chain).
+        for a, b in zip(path, path[1:]):
+            assert set(a.qubits) & set(b.qubits)
+        t_path = critical_path(c, weight="t")
+        assert sum(1 for g in t_path if g.name in ("t", "tdg")) == t_depth(c)
+
+    def test_critical_path_invalid_weight(self):
+        with pytest.raises(ValueError):
+            critical_path(Circuit(1).h(0), weight="bogus")
+
+    def test_weightless_critical_path_is_empty(self):
+        # No T gates: the T-path is empty, not an arbitrary chain.
+        c = Circuit(2).h(0).cx(0, 1).h(1)
+        assert critical_path(c, weight="t") == []
+        assert t_depth(c) == 0
+
+    def test_metrics_accept_dag(self):
+        c = _random_circuit(13)
+        dag = CircuitDAG.from_circuit(c)
+        assert depth(dag) == depth(c)
+        assert t_depth(dag) == t_depth(c)
+        assert two_qubit_depth(dag) == two_qubit_depth(c)
