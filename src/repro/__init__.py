@@ -4,8 +4,9 @@ The package implements trasyn — tensor-network-guided synthesis of
 arbitrary single-qubit unitaries into Clifford+T — together with every
 substrate the paper's evaluation rests on: a Ross-Selinger gridsynth
 baseline, exact Clifford+T enumeration, a quantum-circuit IR and
-transpiler, benchmark circuit generators, noisy simulators, and
-post-synthesis optimizers.
+transpiler, a hardware target model with layout/routing
+(:mod:`repro.target`), benchmark circuit generators, noisy simulators,
+and post-synthesis optimizers.
 
 Quickstart::
 
@@ -31,16 +32,30 @@ from repro.pipeline import (
 )
 from repro.synthesis import GateSequence, synthesize, trasyn
 from repro.synthesis.gridsynth import gridsynth_rz, gridsynth_u3
+from repro.target import (
+    CouplingMap,
+    Layout,
+    RoutingMetrics,
+    RoutingResult,
+    Target,
+    parse_target,
+    route_circuit,
+)
 from repro.transpiler import transpile
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Circuit",
     "CircuitDAG",
+    "CouplingMap",
     "GateSequence",
+    "Layout",
     "PassManager",
+    "RoutingMetrics",
+    "RoutingResult",
     "SynthesisCache",
+    "Target",
     "build_table",
     "compile_batch",
     "compile_circuit",
@@ -49,7 +64,9 @@ __all__ = [
     "gridsynth_u3",
     "haar_random_u2",
     "optimize_circuit",
+    "parse_target",
     "preset_pipeline",
+    "route_circuit",
     "rz",
     "synthesize",
     "trace_distance",

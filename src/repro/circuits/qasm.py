@@ -109,5 +109,11 @@ def _eval_param(text: str) -> float:
         raise QASMError(f"unsupported parameter expression {text!r}")
     try:
         return float(eval(text, {"__builtins__": {}}, {}))
-    except Exception as exc:
-        raise QASMError(f"cannot evaluate parameter {text!r}") from exc
+    except (SyntaxError, NameError, TypeError, ValueError,
+            ZeroDivisionError, OverflowError) as exc:
+        # Only genuine parse/arithmetic failures become QASM errors;
+        # anything else (MemoryError, KeyboardInterrupt, ...) must not
+        # be swallowed into a generic "bad parameter" message.
+        raise QASMError(
+            f"cannot evaluate parameter {text!r}: {exc}"
+        ) from exc

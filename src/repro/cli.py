@@ -65,6 +65,15 @@ def _parse_level(value: str) -> int | str:
     return value if value == "best" else int(value)
 
 
+def _parse_target_arg(spec: str | None):
+    """Resolve a ``--target`` spec (or None) to a Target."""
+    if spec is None:
+        return None
+    from repro.target import parse_target
+
+    return parse_target(spec)
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     from repro.circuits import clifford_count, depth, t_count, t_depth
     from repro.circuits.qasm import from_qasm, to_qasm
@@ -73,11 +82,20 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     with open(args.input) as f:
         circuit = from_qasm(f.read())
     cache = _load_cache(args.cache_file)
+    target = _parse_target_arg(args.target)
     result = compile_circuit(
         circuit, workflow=args.workflow, eps=args.eps, cache=cache,
         seed=args.seed, optimization_level=args.optimization_level,
+        target=target, layout=args.layout,
     )
     out = result.circuit
+    if result.routing is not None:
+        m = result.routing.metrics
+        print(f"target                : {target.name or args.target}")
+        print(f"swaps inserted        : {m.swaps_inserted}")
+        print(f"direction fixes       : {m.direction_fixes}")
+        print(f"routed depth          : {m.depth_before} -> {m.depth_after}")
+        print(f"output permutation    : {result.routing.permutation}")
     print(f"rotations synthesized : {result.n_rotations}")
     print(f"T count               : {t_count(out)}")
     print(f"T depth               : {t_depth(out)}")
@@ -105,17 +123,27 @@ def _cmd_compile_batch(args: argparse.Namespace) -> int:
             circuit.name = path
         circuits.append(circuit)
     cache = _load_cache(args.cache_file)
+    target = _parse_target_arg(args.target)
     batch = compile_batch(
         circuits, workflow=args.workflow, eps=args.eps, cache=cache,
         seed=args.seed, max_workers=args.jobs,
         optimization_level=args.optimization_level,
+        target=target, layout=args.layout,
     )
     stats = cache.stats()
     for path, result in zip(args.inputs, batch.results):
+        extra = ""
+        if result.routing is not None:
+            extra = f" swaps={result.routing.swaps_inserted}"
         print(f"{path}: rotations={result.n_rotations} "
               f"T={result.t_count} Clifford={result.clifford_count} "
-              f"error<={result.total_synthesis_error:.3e}")
+              f"error<={result.total_synthesis_error:.3e}{extra}")
     print(f"circuits compiled : {len(batch)}")
+    if target is not None:
+        total_swaps = sum(
+            r.routing.swaps_inserted for r in batch if r.routing is not None
+        )
+        print(f"total swaps       : {total_swaps}")
     print(f"total T count     : {sum(r.t_count for r in batch)}")
     print(f"cache hits/misses : {stats.hits}/{stats.misses}")
     print(f"wall time         : {batch.wall_time:.3f}s")
@@ -153,6 +181,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             noise = NoiseModel.t_gates_only(args.noise_rate)
         else:
             noise = NoiseModel.non_pauli_gates(args.noise_rate)
+    elif args.target:
+        # Derive heterogeneous noise from the target's calibration.
+        target = _parse_target_arg(args.target)
+        try:
+            noise = NoiseModel.from_target(target)
+        except ValueError as exc:
+            # Built-in topology specs carry no calibration; only a
+            # saved Target JSON can hold gate_errors.
+            print(f"error: {exc} (save a Target JSON with gate_errors, "
+                  "or pass --noise-rate)", file=sys.stderr)
+            return 2
+        print(f"noise from target: {target.name or args.target} "
+              f"(max rate {noise.rate:g})")
     ev = evaluate_fidelity(
         circuit,
         noise=noise,
@@ -222,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=(0, 1, 2, 3, 4, "best"), default="best",
                    help="transpile preset 0-4 (4 = DAG passes) or the "
                         "fewest-rotations grid search (default)")
+    p.add_argument("--target", default=None,
+                   help="hardware target: line:8, ring:12, grid:3x3, "
+                        "heavy_hex:3, all_to_all:5, or a target .json")
+    p.add_argument("--layout", choices=("trivial", "dense"), default="dense",
+                   help="initial placement strategy for --target")
     p.add_argument("--output", default=None)
     p.add_argument("--cache-file", default=None,
                    help="JSON synthesis cache to reuse and update")
@@ -240,6 +286,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=(0, 1, 2, 3, 4, "best"), default="best",
                    help="transpile preset 0-4 (4 = DAG passes) or the "
                         "fewest-rotations grid search (default)")
+    p.add_argument("--target", default=None,
+                   help="hardware target: line:8, ring:12, grid:3x3, "
+                        "heavy_hex:3, all_to_all:5, or a target .json")
+    p.add_argument("--layout", choices=("trivial", "dense"), default="dense",
+                   help="initial placement strategy for --target")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker threads (default: one per circuit, "
                         "capped at CPU count)")
@@ -269,6 +320,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="which gates the noise follows (RQ2 vs RQ4 model)")
     p.add_argument("--max-bond", type=int, default=None,
                    help="MPS bond-dimension cap (default 64)")
+    p.add_argument("--target", default=None,
+                   help="derive a heterogeneous noise model from this "
+                        "target's gate error table when --noise-rate is 0 "
+                        "(needs a saved Target .json with gate_errors; "
+                        "bare topology specs carry no calibration)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_simulate)
 

@@ -1,5 +1,15 @@
-"""Experiment harness: one module per research question in the paper."""
+"""Experiment harness: one module per research question in the paper.
 
+RQ6 (:mod:`repro.experiments.rq6_connectivity`) goes beyond the paper:
+the Rz-vs-U3 IR comparison rerun under hardware connectivity
+constraints via :mod:`repro.target`.
+"""
+
+from repro.experiments.rq6_connectivity import (
+    ConnectivityCase,
+    run_connectivity_comparison,
+    target_for,
+)
 from repro.experiments.workflows import (
     SynthesizedCircuit,
     best_transpile,
@@ -9,9 +19,12 @@ from repro.experiments.workflows import (
 )
 
 __all__ = [
+    "ConnectivityCase",
     "SynthesizedCircuit",
     "best_transpile",
     "matched_thresholds",
+    "run_connectivity_comparison",
     "synthesize_circuit_gridsynth",
     "synthesize_circuit_trasyn",
+    "target_for",
 ]

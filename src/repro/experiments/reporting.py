@@ -52,6 +52,26 @@ def _fmt(value) -> str:
     return str(value)
 
 
+#: Column set for connectivity/routing tables: identity, swap overhead,
+#: post-routing depths, and the per-IR rotation counts with their ratio.
+ROUTING_HEADERS = (
+    "circuit", "target", "swaps", "depth", "2q depth",
+    "rot(u3)", "rot(rz)", "rz/u3",
+)
+
+
+def routing_table(rows: Sequence[Sequence]) -> str:
+    """Render routing/connectivity rows under :data:`ROUTING_HEADERS`.
+
+    Rows shorter than the header set (e.g. route-only summaries without
+    rotation counts) are padded with blanks.
+    """
+    padded = [
+        list(row) + [""] * (len(ROUTING_HEADERS) - len(row)) for row in rows
+    ]
+    return format_table(ROUTING_HEADERS, padded)
+
+
 def print_header(title: str) -> None:
     print()
     print("=" * len(title))

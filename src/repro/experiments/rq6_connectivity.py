@@ -1,0 +1,160 @@
+"""RQ6 (beyond the paper): the IR comparison under connectivity limits.
+
+The paper answers "Clifford+Rz or Clifford+U3?" on all-to-all circuits.
+Real machines have coupling maps, and routing inserts SWAPs whose
+decomposition feeds the rotation stream differently per IR — so the
+question deserves a per-topology answer.  For every benchmark circuit
+and every topology this experiment routes once, lowers into both IRs,
+and reports rotation counts, swap overhead, and depth inflation; the
+Rz/U3 ratio column is Figure 3(b)'s metric with a connectivity axis
+bolted on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bench_circuits import BenchmarkCase
+from repro.circuits import Circuit, depth, rotation_count, two_qubit_depth
+from repro.target import Target, route_circuit
+from repro.transpiler import transpile
+
+#: The topology axis swept by default (name -> Target factory on n).
+TOPOLOGY_FACTORIES = {
+    "all_to_all": Target.all_to_all,
+    "line": Target.line,
+    "ring": lambda n: Target.ring(max(3, n)),
+    "grid": lambda n: _smallest_grid(n),
+}
+
+
+def _smallest_grid(n: int) -> Target:
+    """The most-square grid with at least ``n`` qubits."""
+    rows = max(1, int(math.floor(math.sqrt(n))))
+    cols = (n + rows - 1) // rows
+    return Target.grid(rows, cols)
+
+
+def target_for(n_qubits: int, topology: str) -> Target:
+    """Instantiate a swept topology sized for an ``n_qubits`` circuit."""
+    try:
+        factory = TOPOLOGY_FACTORIES[topology]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {topology!r} "
+            f"(expected one of {sorted(TOPOLOGY_FACTORIES)})"
+        ) from None
+    return factory(n_qubits)
+
+
+@dataclass
+class ConnectivityCase:
+    """One (circuit, topology) cell of the comparison."""
+
+    name: str
+    category: str
+    topology: str
+    n_qubits: int
+    swaps: int
+    depth_before: int
+    depth_after: int
+    two_qubit_depth_after: int
+    rotations: dict[str, int]  # basis -> rotation count after lowering
+
+    @property
+    def ratio(self) -> float:
+        """Rz-to-U3 rotation ratio (>= 1 favours the U3 IR)."""
+        return self.rotations["rz"] / max(1, self.rotations["u3"])
+
+
+def run_connectivity_comparison(
+    cases: list[BenchmarkCase],
+    topologies: tuple[str, ...] = tuple(TOPOLOGY_FACTORIES),
+    optimization_level: int = 2,
+    layout: str = "dense",
+) -> list[ConnectivityCase]:
+    """Route + lower every case on every topology, both IRs.
+
+    Routing runs once per (circuit, topology); both basis lowerings
+    consume the same routed circuit, mirroring how
+    :func:`repro.pipeline.compile_circuit` composes the stages.
+    """
+    out: list[ConnectivityCase] = []
+    for case in cases:
+        for topology in topologies:
+            target = target_for(case.circuit.n_qubits, topology)
+            routed = route_circuit(case.circuit, target, layout=layout)
+            rotations = {
+                basis: rotation_count(
+                    transpile(
+                        routed.circuit, basis=basis,
+                        optimization_level=optimization_level,
+                    )
+                )
+                for basis in ("u3", "rz")
+            }
+            out.append(
+                ConnectivityCase(
+                    name=case.name,
+                    category=case.category,
+                    topology=topology,
+                    n_qubits=target.n_qubits,
+                    swaps=routed.swaps_inserted,
+                    depth_before=routed.metrics.depth_before,
+                    depth_after=routed.metrics.depth_after,
+                    two_qubit_depth_after=routed.metrics.two_qubit_depth_after,
+                    rotations=rotations,
+                )
+            )
+    return out
+
+
+def connectivity_rows(results: list[ConnectivityCase]) -> list[list]:
+    """Table rows for :func:`repro.experiments.reporting.routing_table`."""
+    return [
+        [
+            r.name, r.topology, r.swaps, r.depth_after,
+            r.two_qubit_depth_after, r.rotations["u3"], r.rotations["rz"],
+            r.ratio,
+        ]
+        for r in results
+    ]
+
+
+def _demo_cases() -> list[BenchmarkCase]:
+    import numpy as np
+
+    from repro.bench_circuits import ft_algorithms as ft
+    from repro.bench_circuits.qaoa import qaoa_maxcut
+
+    rng = np.random.default_rng(7)
+    demo: list[tuple[str, str, Circuit]] = [
+        ("qft_n4", "ft_algorithm", ft.qft(4)),
+        ("qft_n6", "ft_algorithm", ft.qft(6)),
+        ("qaoa_n6_p1", "qaoa", qaoa_maxcut(6, 1, rng)),
+    ]
+    return [BenchmarkCase(n, c, circ) for n, c, circ in demo]
+
+
+def main() -> int:
+    from repro.experiments.reporting import (
+        print_header,
+        routing_table,
+    )
+
+    results = run_connectivity_comparison(_demo_cases())
+    print_header("RQ6: IR comparison under connectivity constraints")
+    print(routing_table(connectivity_rows(results)))
+    by_topology: dict[str, list[float]] = {}
+    for r in results:
+        by_topology.setdefault(r.topology, []).append(r.ratio)
+    print()
+    for topology, ratios in by_topology.items():
+        mean = sum(ratios) / len(ratios)
+        print(f"mean Rz/U3 rotation ratio on {topology:10s}: {mean:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

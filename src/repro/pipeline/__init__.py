@@ -7,7 +7,9 @@ compiler service:
   composable objects with per-pass metrics, including the DAG passes
   (:class:`CancelInverses`, :class:`MergeRotations`,
   :class:`FoldPhases`, :class:`DagOptimize`) running on
-  :class:`repro.circuits.CircuitDAG`,
+  :class:`repro.circuits.CircuitDAG` and the connectivity stage
+  (:class:`SetLayout`, :class:`RouteToTarget`, :class:`FixDirections`)
+  targeting a :class:`repro.target.Target`,
 * :func:`preset_pipeline` — the paper's optimization levels 0-3 plus
   the DAG-pass level 4, for both target IRs as ready-made pipelines,
 * :class:`SynthesisCache` — a thread-safe LRU of synthesized rotations
@@ -39,6 +41,7 @@ from repro.pipeline.passes import (
     DAGPass,
     DagOptimize,
     DecomposeToRzBasis,
+    FixDirections,
     FoldPhases,
     FunctionPass,
     IsolateU3,
@@ -48,6 +51,8 @@ from repro.pipeline.passes import (
     PassManager,
     PassMetrics,
     PipelineResult,
+    RouteToTarget,
+    SetLayout,
     SnapTrivialRotations,
 )
 from repro.pipeline.presets import (
@@ -70,6 +75,7 @@ __all__ = [
     "DagOptimize",
     "DEFAULT_EPS",
     "DecomposeToRzBasis",
+    "FixDirections",
     "FoldPhases",
     "FunctionPass",
     "IsolateU3",
@@ -80,6 +86,8 @@ __all__ = [
     "PassManager",
     "PassMetrics",
     "PipelineResult",
+    "RouteToTarget",
+    "SetLayout",
     "SnapTrivialRotations",
     "SynthesisCache",
     "SynthesizedCircuit",

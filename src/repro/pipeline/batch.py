@@ -76,6 +76,9 @@ class SynthesizedCircuit:
     n_rotations: int
     total_synthesis_error: float  # additive upper bound over rotations
     wall_time: float
+    #: Layout/routing provenance when compiled against a hardware
+    #: target (:class:`repro.target.RoutingResult`), else None.
+    routing: object | None = None
 
     @property
     def t_count(self) -> int:
@@ -210,6 +213,8 @@ def compile_circuit(
     commutation: bool | None = None,
     pipeline: PassManager | None = None,
     pre_transpiled: bool = False,
+    target=None,
+    layout="dense",
 ) -> SynthesizedCircuit:
     """Compile one circuit to Clifford+T through the pass pipeline.
 
@@ -227,15 +232,38 @@ def compile_circuit(
         levels and "search both" for ``'best'``.
     pipeline:
         Explicit :class:`PassManager` overriding the preset choice.
+    target:
+        A :class:`repro.target.Target`; when given, the circuit is laid
+        out (``layout``), SABRE-routed, and direction-fixed before
+        lowering, and the returned result carries the
+        :class:`~repro.target.RoutingResult` (swap count, permutation,
+        depths) as ``result.routing``.
     """
     if workflow not in _WORKFLOW_BASIS:
         raise ValueError("workflow must be 'trasyn' or 'gridsynth'")
     basis = _WORKFLOW_BASIS[workflow]
     start = time.monotonic()
-    if pre_transpiled:
-        lowered = circuit
+    routing = None
+    if target is not None and not pre_transpiled:
+        from repro.circuits import depth, two_qubit_depth
+        from repro.target import fix_gate_directions, route_circuit
+
+        routing = route_circuit(circuit, target, layout=layout)
+        fixed, n_fixes = fix_gate_directions(routing.circuit, target)
+        if n_fixes:
+            # The result must carry the circuit actually compiled (and
+            # its real depths), not the pre-fix orientation.
+            routing.circuit = fixed
+            routing.metrics.depth_after = depth(fixed)
+            routing.metrics.two_qubit_depth_after = two_qubit_depth(fixed)
+        routing.metrics.direction_fixes = n_fixes
+        work = fixed
     else:
-        lowered = _lower(circuit, basis, optimization_level, commutation,
+        work = circuit
+    if pre_transpiled:
+        lowered = work
+    else:
+        lowered = _lower(work, basis, optimization_level, commutation,
                          pipeline)
     if cache is None:
         cache = SynthesisCache()
@@ -245,6 +273,7 @@ def compile_circuit(
         name=circuit.name + f"_{workflow}",
     )
     result.wall_time = time.monotonic() - start
+    result.routing = routing
     return result
 
 
@@ -287,6 +316,8 @@ def compile_batch(
     optimization_level: int | str = "best",
     commutation: bool | None = None,
     pipeline: PassManager | None = None,
+    target=None,
+    layout="dense",
 ) -> BatchResult:
     """Compile many circuits concurrently with a shared synthesis cache.
 
@@ -305,7 +336,7 @@ def compile_batch(
         return compile_circuit(
             circuit, workflow=workflow, eps=eps, cache=cache, seed=seed,
             optimization_level=optimization_level, commutation=commutation,
-            pipeline=pipeline,
+            pipeline=pipeline, target=target, layout=layout,
         )
 
     results = map_parallel(job, circuits, max_workers)

@@ -125,6 +125,85 @@ class IsolateU3(Pass):
         return _isolate_1q(circuit)
 
 
+class SetLayout(Pass):
+    """Embed the circuit onto a target's physical wires.
+
+    Computes an initial placement (``"trivial"`` or ``"dense"``, or an
+    explicit :class:`repro.target.Layout`) and relabels every gate onto
+    physical qubits; the output circuit has ``target.n_qubits`` wires.
+    Routing the result with a trivial layout equals routing the input
+    with the chosen layout, so this pass always precedes
+    :class:`RouteToTarget` in a pipeline.
+    """
+
+    name = "set_layout"
+
+    def __init__(self, target, layout="dense"):
+        self.target = target
+        self.layout = layout
+
+    def run(self, circuit: Circuit) -> Circuit:
+        from repro.target import apply_layout, resolve_layout
+
+        placed = resolve_layout(self.layout, circuit, self.target)
+        return apply_layout(circuit, placed)
+
+
+class RouteToTarget(Pass):
+    """SABRE-style swap routing onto a target's coupling map.
+
+    Expects the circuit already placed on physical wires (normally by
+    :class:`SetLayout`); smaller circuits are embedded trivially.  Only
+    the routed circuit flows on through the pipeline — callers needing
+    the permutation and swap metrics use
+    :func:`repro.target.route_circuit` directly (as
+    :func:`repro.pipeline.compile_circuit` does).
+    """
+
+    name = "route_to_target"
+
+    def __init__(self, target, lookahead: int | None = None,
+                 lookahead_weight: float | None = None):
+        from repro.target.routing import (
+            DEFAULT_LOOKAHEAD,
+            DEFAULT_LOOKAHEAD_WEIGHT,
+        )
+
+        self.target = target
+        self.lookahead = (
+            DEFAULT_LOOKAHEAD if lookahead is None else int(lookahead)
+        )
+        self.lookahead_weight = (
+            DEFAULT_LOOKAHEAD_WEIGHT
+            if lookahead_weight is None
+            else float(lookahead_weight)
+        )
+
+    def run(self, circuit: Circuit) -> Circuit:
+        from repro.target import route_circuit
+
+        return route_circuit(
+            circuit, self.target, layout="trivial",
+            lookahead=self.lookahead,
+            lookahead_weight=self.lookahead_weight,
+        ).circuit
+
+
+class FixDirections(Pass):
+    """Repair CX orientation on directed couplings (H conjugation)."""
+
+    name = "fix_directions"
+
+    def __init__(self, target):
+        self.target = target
+
+    def run(self, circuit: Circuit) -> Circuit:
+        from repro.target import fix_gate_directions
+
+        fixed, _ = fix_gate_directions(circuit, self.target)
+        return fixed
+
+
 class DAGPass(Pass):
     """A rewrite running natively on the dependency DAG.
 

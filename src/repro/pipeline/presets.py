@@ -21,10 +21,13 @@ from repro.pipeline.passes import (
     CommuteRotations,
     DagOptimize,
     DecomposeToRzBasis,
+    FixDirections,
     IsolateU3,
     MergeRuns,
     Pass,
     PassManager,
+    RouteToTarget,
+    SetLayout,
     SnapTrivialRotations,
 )
 
@@ -54,6 +57,8 @@ def preset_pipeline(
     basis: str = "u3",
     optimization_level: int = 1,
     commutation: bool = False,
+    target=None,
+    layout="dense",
 ) -> PassManager:
     """The pass sequence lowering a circuit to ``basis`` at a level.
 
@@ -61,6 +66,13 @@ def preset_pipeline(
     ``basis='rz'`` ends in CX+H+Rz (the gridsynth workflow input,
     where level 4 re-runs the DAG fixpoint after lowering so phases
     fold through the freshly exposed CX/Rz stream).
+
+    ``target`` (a :class:`repro.target.Target`) composes the
+    connectivity stage — :class:`SetLayout` (``layout`` picks the
+    placement strategy), :class:`RouteToTarget`, and
+    :class:`FixDirections` — *before* the optimization core and basis
+    lowering at every level, so 1q-run merges happen on the routed
+    circuit and survive the inserted SWAPs.
     """
     if basis not in BASES:
         raise ValueError("basis must be 'u3' or 'rz'")
@@ -69,6 +81,10 @@ def preset_pipeline(
     passes: list[Pass] = [SnapTrivialRotations()]
     if commutation:
         passes.append(CommuteRotations())
+    if target is not None:
+        passes.append(SetLayout(target, layout=layout))
+        passes.append(RouteToTarget(target))
+        passes.append(FixDirections(target))
     passes.extend(
         _STEP_FACTORY[step]() for step in _LEVEL_PASSES[optimization_level]
     )
@@ -99,7 +115,11 @@ def iter_presets(basis: str) -> Iterator[tuple[int, bool, PassManager]]:
 
 
 def best_preset_lowering(
-    circuit: Circuit, basis: str, commutation: bool | None = None
+    circuit: Circuit,
+    basis: str,
+    commutation: bool | None = None,
+    target=None,
+    layout="dense",
 ) -> Circuit:
     """Fewest-rotations lowering over the preset grid (Section 3.4).
 
@@ -107,7 +127,17 @@ def best_preset_lowering(
     :func:`repro.experiments.workflows.best_transpile` and
     ``compile_circuit(optimization_level='best')``.  ``commutation``
     pins the commutation pass on/off; ``None`` searches both.
+
+    With a ``target``, the circuit is laid out, routed, and
+    direction-fixed *once* up front (routing is deterministic and
+    independent of the preset knobs), then the grid searches lowerings
+    of the routed circuit.
     """
+    if target is not None:
+        from repro.target import fix_gate_directions, route_circuit
+
+        routed = route_circuit(circuit, target, layout=layout)
+        circuit, _ = fix_gate_directions(routed.circuit, target)
     best: tuple[int, Circuit] | None = None
     for _, comm, pipeline in iter_presets(basis):
         if commutation is not None and comm != commutation:

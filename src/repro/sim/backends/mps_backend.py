@@ -31,10 +31,10 @@ from repro.sim.backends.base import (
     noise_event_offsets,
 )
 from repro.sim.backends.statevector import (
-    _as_unitary_mixture,
+    DepolarizingChannels,
     _count_noise_events,
 )
-from repro.sim.noise import NoiseModel, depolarizing_kraus
+from repro.sim.noise import NoiseModel
 from repro.tensornet.circuit_mps import CircuitMPS
 
 _DEFAULT_MPS_TRAJECTORIES = 50
@@ -152,18 +152,23 @@ class MPSBackend(SimulatorBackend):
             circuit.n_qubits, max_bond=self.max_bond,
             svd_cutoff=self.svd_cutoff,
         )
-        kraus = mixture = None
-        if is_noisy(noise):
-            kraus = depolarizing_kraus(noise.rate)
-            mixture = _as_unitary_mixture(kraus)
+        if not is_noisy(noise):
+            # Noiseless runs (references included) take the whole-circuit
+            # path, which pre-routes long-range gates with the lookahead
+            # router.  Noisy trajectories stay per-gate below: each noise
+            # event must land on the qubit's un-permuted site.
+            return mps.run(circuit)
+        channels = DepolarizingChannels()
         offsets = noise_event_offsets(circuit, noise)
         for layer in gate_schedule(circuit, self.layered):
             for _, gate in layer:
                 mps.apply_gate(gate)
-            if kraus is None:
-                continue
             for pos, gate in layer:
-                for j, q in enumerate(noise.noisy_qubits(gate)):
+                qubits = noise.noisy_qubits(gate)
+                if not qubits:
+                    continue
+                kraus, mixture = channels.get(noise.rate_for(gate))
+                for j, q in enumerate(qubits):
                     self._kraus_event(
                         mps, kraus, mixture, q, uniforms[offsets[pos] + j]
                     )

@@ -138,6 +138,26 @@ def _count_noise_events(
     return sum(len(noise.noisy_qubits(g)) for g in circuit.gates)
 
 
+class DepolarizingChannels:
+    """Per-rate cache of (kraus, mixture) pairs for heterogeneous noise.
+
+    Uniform models hit one entry; target-derived models
+    (:meth:`NoiseModel.from_target`) have one entry per distinct
+    calibrated rate.  Shared by the statevector and MPS engines.
+    """
+
+    def __init__(self):
+        self._by_rate: dict[float, tuple] = {}
+
+    def get(self, rate: float) -> tuple:
+        entry = self._by_rate.get(rate)
+        if entry is None:
+            kraus = depolarizing_kraus(rate)
+            entry = (kraus, _as_unitary_mixture(kraus))
+            self._by_rate[rate] = entry
+        return entry
+
+
 class TrajectoryResult(SimulationResult):
     """Stacked trajectory statevectors of shape ``(n_traj, 2^n)``."""
 
@@ -239,16 +259,17 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
         k = uniforms.shape[0]
         states = np.zeros((k,) + (2,) * n, dtype=complex)
         states[(slice(None),) + (0,) * n] = 1.0
-        kraus = mixture = None
-        if is_noisy(noise):
-            kraus = depolarizing_kraus(noise.rate)
-            mixture = _as_unitary_mixture(kraus)
+        channels = DepolarizingChannels() if is_noisy(noise) else None
         for layer in schedule:
             for _, gate in layer:
                 states = _apply_gate_batch(states, gate)
-            if kraus is not None:
+            if channels is not None:
                 for pos, gate in layer:
-                    for j, q in enumerate(noise.noisy_qubits(gate)):
+                    qubits = noise.noisy_qubits(gate)
+                    if not qubits:
+                        continue
+                    kraus, mixture = channels.get(noise.rate_for(gate))
+                    for j, q in enumerate(qubits):
                         states = _apply_kraus_mc(
                             states, kraus, mixture, q,
                             uniforms[:, offsets[pos] + j],

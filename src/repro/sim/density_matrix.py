@@ -74,7 +74,9 @@ class DensityMatrixSimulator:
             self.apply_gate(gate)
             if noise is not None:
                 for q in noise.noisy_qubits(gate):
-                    self.apply_kraus_1q(depolarizing_kraus(noise.rate), q)
+                    self.apply_kraus_1q(
+                        depolarizing_kraus(noise.rate_for(gate)), q
+                    )
         return self.rho
 
 

@@ -50,10 +50,25 @@ def depolarizing_kraus(p: float) -> list[np.ndarray]:
 
 @dataclass(frozen=True)
 class NoiseModel:
-    """Depolarizing noise attached to gates matching a predicate."""
+    """Depolarizing noise attached to gates matching a predicate.
+
+    ``rate`` is the uniform depolarizing rate; the optional ``rates``
+    table (canonical gate name -> rate) makes the model heterogeneous,
+    as when derived from a hardware target's calibration via
+    :meth:`from_target` — ``rate`` then holds the maximum table entry
+    so backends can still cheaply test "is this model noisy at all".
+    Every engine draws its per-gate channel from :meth:`rate_for`.
+    """
 
     rate: float
     applies_to: Callable[[Gate], bool]
+    rates: dict[str, float] | None = None
+
+    def rate_for(self, gate: Gate) -> float:
+        """The depolarizing rate following this particular gate."""
+        if self.rates is None:
+            return self.rate
+        return self.rates.get(canonical_gate_name(gate.name), 0.0)
 
     @staticmethod
     def t_gates_only(rate: float) -> "NoiseModel":
@@ -67,6 +82,32 @@ class NoiseModel:
         """RQ4's model: depolarizing after every non-Pauli gate."""
         return NoiseModel(
             rate, lambda g: canonical_gate_name(g.name) not in _PAULI_NAMES
+        )
+
+    @staticmethod
+    def from_target(target, scale: float = 1.0) -> "NoiseModel":
+        """Heterogeneous noise from a target's per-gate error table.
+
+        Each gate named in ``target.gate_errors`` gets a depolarizing
+        channel at its calibrated rate (times ``scale``); unlisted
+        gates are noiseless.  Raises ``ValueError`` when the target has
+        no (positive) error entries — silently simulating noiselessly
+        would be a footgun.
+        """
+        table = {
+            canonical_gate_name(name): float(rate) * scale
+            for name, rate in getattr(target, "gate_errors", {}).items()
+            if float(rate) > 0.0
+        }
+        if not table:
+            raise ValueError(
+                f"target {getattr(target, 'name', '') or '<unnamed>'} has "
+                "no gate error table to derive noise from"
+            )
+        return NoiseModel(
+            max(table.values()),
+            lambda g: table.get(canonical_gate_name(g.name), 0.0) > 0.0,
+            rates=table,
         )
 
     def noisy_qubits(self, gate: Gate) -> tuple[int, ...]:

@@ -1,0 +1,222 @@
+"""Qubit connectivity graphs for hardware targets.
+
+A :class:`CouplingMap` is the adjacency structure of a device: which
+physical qubit pairs can host a two-qubit gate.  It precomputes neighbor
+sets and (lazily) an all-pairs BFS distance matrix — the two queries the
+layout and routing stages hammer.  Maps are undirected by default
+(``cx`` both ways); a *directed* map restricts the native ``cx``
+orientation, which :func:`repro.target.routing.fix_gate_directions`
+repairs with Hadamard conjugation after routing.
+
+Standard topologies (line / ring / grid / heavy-hex / all-to-all) are
+provided as constructors so experiments can sweep connectivity as an
+axis, the way they already sweep IRs and optimization levels.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+Edge = tuple[int, int]
+
+
+class CouplingMap:
+    """Connectivity between ``n_qubits`` physical qubits.
+
+    ``edges`` lists allowed two-qubit-gate placements.  When
+    ``directed`` is False (default) every edge is usable in both
+    orientations; when True the listed orientation is the native one
+    (``allows`` distinguishes, ``has_edge``/``distance`` do not —
+    routing always works on the symmetrized graph because SWAPs are
+    direction-agnostic after H conjugation).
+    """
+
+    def __init__(
+        self,
+        n_qubits: int,
+        edges: Iterable[Edge],
+        directed: bool = False,
+    ):
+        if n_qubits < 1:
+            raise ValueError("a coupling map needs at least one qubit")
+        self.n_qubits = int(n_qubits)
+        self.directed = bool(directed)
+        directed_edges: set[Edge] = set()
+        undirected: set[Edge] = set()
+        for a, b in edges:
+            a, b = int(a), int(b)
+            if not (0 <= a < n_qubits and 0 <= b < n_qubits):
+                raise ValueError(f"edge ({a}, {b}) out of range")
+            if a == b:
+                raise ValueError(f"self-loop edge on qubit {a}")
+            directed_edges.add((a, b))
+            if not self.directed:
+                directed_edges.add((b, a))
+            undirected.add((min(a, b), max(a, b)))
+        self._directed_edges = frozenset(directed_edges)
+        self.edges: tuple[Edge, ...] = tuple(sorted(undirected))
+        neighbors: list[set[int]] = [set() for _ in range(self.n_qubits)]
+        for a, b in self.edges:
+            neighbors[a].add(b)
+            neighbors[b].add(a)
+        self._neighbors = tuple(tuple(sorted(s)) for s in neighbors)
+        self._dist: list[list[int]] | None = None
+
+    # -- queries ------------------------------------------------------------
+    def neighbors(self, q: int) -> tuple[int, ...]:
+        """Physical qubits sharing an edge with ``q`` (either direction)."""
+        return self._neighbors[q]
+
+    def degree(self, q: int) -> int:
+        return len(self._neighbors[q])
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """True when (a, b) is coupled in either orientation."""
+        return b in self._neighbors[a]
+
+    def allows(self, a: int, b: int) -> bool:
+        """True when a native gate may point from ``a`` to ``b``."""
+        return (a, b) in self._directed_edges
+
+    @property
+    def distance_matrix(self) -> list[list[int]]:
+        """All-pairs shortest-path lengths (BFS; -1 if disconnected)."""
+        if self._dist is None:
+            self._dist = [self._bfs(s) for s in range(self.n_qubits)]
+        return self._dist
+
+    def _bfs(self, source: int) -> list[int]:
+        dist = [-1] * self.n_qubits
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in self._neighbors[u]:
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    def distance(self, a: int, b: int) -> int:
+        d = self.distance_matrix[a][b]
+        if d < 0:
+            raise ValueError(f"qubits {a} and {b} are disconnected")
+        return d
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        """One shortest path from ``a`` to ``b`` (inclusive), by BFS.
+
+        Deterministic: neighbor expansion follows ascending qubit index.
+        """
+        if a == b:
+            return [a]
+        prev = {a: a}
+        queue = deque([a])
+        while queue:
+            u = queue.popleft()
+            for v in self._neighbors[u]:
+                if v not in prev:
+                    prev[v] = u
+                    if v == b:
+                        path = [b]
+                        while path[-1] != a:
+                            path.append(prev[path[-1]])
+                        return path[::-1]
+                    queue.append(v)
+        raise ValueError(f"qubits {a} and {b} are disconnected")
+
+    def is_connected(self) -> bool:
+        return all(d >= 0 for d in self.distance_matrix[0])
+
+    def diameter(self) -> int:
+        if not self.is_connected():
+            raise ValueError("coupling map is disconnected")
+        return max(max(row) for row in self.distance_matrix)
+
+    # -- standard topologies -------------------------------------------------
+    @classmethod
+    def line(cls, n: int) -> "CouplingMap":
+        """An open chain: 0-1-2-...-(n-1)."""
+        return cls(n, [(i, i + 1) for i in range(n - 1)])
+
+    @classmethod
+    def ring(cls, n: int) -> "CouplingMap":
+        """A closed chain; needs at least 3 qubits to differ from a line."""
+        if n < 3:
+            raise ValueError("a ring needs at least 3 qubits")
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        return cls(n, edges)
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "CouplingMap":
+        """A rows x cols lattice, qubit (r, c) numbered r*cols + c."""
+        if rows < 1 or cols < 1:
+            raise ValueError("grid dimensions must be positive")
+        edges: list[Edge] = []
+        for r in range(rows):
+            for c in range(cols):
+                q = r * cols + c
+                if c + 1 < cols:
+                    edges.append((q, q + 1))
+                if r + 1 < rows:
+                    edges.append((q, q + cols))
+        return cls(rows * cols, edges)
+
+    @classmethod
+    def heavy_hex(cls, rows: int, cols: int | None = None) -> "CouplingMap":
+        """An IBM-style heavy-hex lattice.
+
+        ``rows`` horizontal chains of ``cols`` qubits (row-major ids),
+        joined by degree-2 *bridge* qubits between consecutive rows.
+        Bridges in gap ``g`` sit at columns ``c % 4 == 0`` (even gaps)
+        or ``c % 4 == 2`` (odd gaps), giving the sparse degree-<=3
+        pattern of IBM's heavy-hex devices.  ``cols`` defaults to
+        ``2*rows - 1``.
+        """
+        if rows < 2:
+            raise ValueError("heavy_hex needs at least 2 rows")
+        if cols is None:
+            cols = 2 * rows - 1
+        if cols < 3:
+            raise ValueError("heavy_hex needs at least 3 columns")
+        edges: list[Edge] = []
+        for r in range(rows):
+            for c in range(cols - 1):
+                edges.append((r * cols + c, r * cols + c + 1))
+        next_id = rows * cols
+        for g in range(rows - 1):
+            offset = 0 if g % 2 == 0 else 2
+            for c in range(offset, cols, 4):
+                bridge = next_id
+                next_id += 1
+                edges.append((g * cols + c, bridge))
+                edges.append((bridge, (g + 1) * cols + c))
+        return cls(next_id, edges)
+
+    @classmethod
+    def all_to_all(cls, n: int) -> "CouplingMap":
+        """Full connectivity (the unconstrained baseline)."""
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        return cls(n, edges) if n > 1 else cls(n, [])
+
+    # -- dunder --------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CouplingMap):
+            return NotImplemented
+        return (
+            self.n_qubits == other.n_qubits
+            and self.directed == other.directed
+            and self._directed_edges == other._directed_edges
+        )
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"CouplingMap(n_qubits={self.n_qubits}, "
+            f"edges={len(self.edges)}, {kind})"
+        )
+
+    def edge_pairs(self) -> Sequence[Edge]:
+        """The native (possibly directed) edge list, sorted."""
+        return tuple(sorted(self._directed_edges))

@@ -1,0 +1,216 @@
+"""Initial placement of circuit wires onto physical qubits.
+
+A :class:`Layout` is a bijection between *virtual* wires (the circuit's
+qubits, padded with idle ancilla wires up to the device size) and
+physical qubits.  Two initial-placement strategies are provided:
+
+* :func:`trivial_layout` — virtual wire ``v`` on physical qubit ``v``,
+* :func:`dense_layout` — a degree/error-aware greedy placement that
+  drops the circuit's interaction graph onto the best-connected,
+  lowest-error region of the device, growing outward from the busiest
+  logical qubit (the DenseLayout idea of mainstream transpilers).
+
+Routing (:mod:`repro.target.routing`) then mutates a copy of the
+initial layout swap by swap; the final layout *is* the output
+permutation reported to callers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping
+
+from repro.circuits.circuit import Circuit
+from repro.target.target import Target
+
+
+class Layout:
+    """A virtual-wire -> physical-qubit bijection of device size."""
+
+    def __init__(self, l2p):
+        l2p = [int(p) for p in l2p]
+        if sorted(l2p) != list(range(len(l2p))):
+            raise ValueError("layout must be a permutation of 0..n-1")
+        self._l2p = l2p
+        self._p2l = [0] * len(l2p)
+        for v, p in enumerate(l2p):
+            self._p2l[p] = v
+
+    @classmethod
+    def trivial(cls, n: int) -> "Layout":
+        return cls(range(n))
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, int], n: int) -> "Layout":
+        """Place logical qubits per ``mapping``; ancillas fill the rest.
+
+        ``mapping`` maps logical wire -> physical qubit for the wires
+        the circuit actually uses; remaining virtual wires take the
+        unused physical qubits in ascending order.
+        """
+        used = set(mapping.values())
+        if len(used) != len(mapping):
+            raise ValueError("mapping assigns one physical qubit twice")
+        free = iter(p for p in range(n) if p not in used)
+        l2p = [mapping[v] if v in mapping else next(free) for v in range(n)]
+        return cls(l2p)
+
+    def __len__(self) -> int:
+        return len(self._l2p)
+
+    def physical(self, v: int) -> int:
+        """The physical qubit currently holding virtual wire ``v``."""
+        return self._l2p[v]
+
+    def virtual(self, p: int) -> int:
+        """The virtual wire currently on physical qubit ``p``."""
+        return self._p2l[p]
+
+    def swap_physical(self, p: int, q: int) -> None:
+        """Record a SWAP between physical qubits ``p`` and ``q``."""
+        a, b = self._p2l[p], self._p2l[q]
+        self._p2l[p], self._p2l[q] = b, a
+        self._l2p[a], self._l2p[b] = q, p
+
+    def copy(self) -> "Layout":
+        return Layout(self._l2p)
+
+    def as_list(self) -> tuple[int, ...]:
+        """The full virtual->physical permutation."""
+        return tuple(self._l2p)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self._l2p == other._l2p
+
+    def __repr__(self) -> str:
+        return f"Layout({self._l2p})"
+
+
+def trivial_layout(circuit: Circuit, target: Target) -> Layout:
+    """Virtual wire ``v`` on physical qubit ``v`` (identity placement)."""
+    _check_fits(circuit, target)
+    return Layout.trivial(target.n_qubits)
+
+
+def dense_layout(circuit: Circuit, target: Target) -> Layout:
+    """Degree/error-aware greedy placement of the interaction graph.
+
+    The busiest logical qubit lands on the physical qubit with the
+    highest degree (ties broken toward lower incident two-qubit error,
+    then lower index); each subsequent logical qubit — picked by total
+    interaction weight with already-placed ones — goes to the free
+    physical qubit minimizing the distance-weighted sum to its placed
+    partners.  Deterministic throughout.
+    """
+    _check_fits(circuit, target)
+    cmap = target.coupling
+    weight: dict[tuple[int, int], int] = defaultdict(int)
+    activity: dict[int, int] = defaultdict(int)
+    for g in circuit.gates:
+        if len(g.qubits) == 2:
+            a, b = g.qubits
+            weight[(min(a, b), max(a, b))] += 1
+            activity[a] += 1
+            activity[b] += 1
+    if not weight:
+        return Layout.trivial(target.n_qubits)
+
+    def qubit_cost(p: int) -> float:
+        errs = [target.edge_error(p, q) for q in cmap.neighbors(p)]
+        return sum(errs) / len(errs) if errs else 0.0
+
+    partners: dict[int, dict[int, int]] = defaultdict(dict)
+    for (a, b), w in weight.items():
+        partners[a][b] = w
+        partners[b][a] = w
+
+    placed: dict[int, int] = {}  # logical -> physical
+    free = set(range(target.n_qubits))
+    seed = max(activity, key=lambda q: (activity[q], -q))
+    best = min(free, key=lambda p: (-cmap.degree(p), qubit_cost(p), p))
+    placed[seed] = best
+    free.discard(best)
+    remaining = set(activity) - {seed}
+    while remaining:
+        nxt = max(
+            remaining,
+            key=lambda q: (
+                sum(w for o, w in partners[q].items() if o in placed),
+                activity[q],
+                -q,
+            ),
+        )
+        anchors = [
+            (placed[o], w) for o, w in partners[nxt].items() if o in placed
+        ]
+        if anchors:
+            def cost(p: int) -> tuple:
+                pull = sum(w * cmap.distance(p, a) for a, w in anchors)
+                return (pull, -cmap.degree(p), qubit_cost(p), p)
+            spot = min(free, key=cost)
+        else:
+            spot = min(free, key=lambda p: (-cmap.degree(p), qubit_cost(p), p))
+        placed[nxt] = spot
+        free.discard(spot)
+        remaining.discard(nxt)
+    return Layout.from_mapping(placed, target.n_qubits)
+
+
+def apply_layout(circuit: Circuit, layout: Layout) -> Circuit:
+    """Relabel a circuit onto physical wires per an initial layout.
+
+    The result lives on ``len(layout)`` wires with every gate's qubits
+    mapped through ``layout.physical``; routing the relabeled circuit
+    with a trivial layout equals routing the original with ``layout``.
+    """
+    from repro.circuits.circuit import Gate
+
+    if circuit.n_qubits > len(layout):
+        raise ValueError("layout is smaller than the circuit")
+    out = Circuit(len(layout), name=circuit.name)
+    out.gates = [
+        Gate(g.name, tuple(layout.physical(q) for q in g.qubits), g.params)
+        for g in circuit.gates
+    ]
+    return out
+
+
+#: Named layout strategies accepted wherever a layout is configurable.
+LAYOUT_METHODS = {
+    "trivial": trivial_layout,
+    "dense": dense_layout,
+}
+
+
+def resolve_layout(
+    layout: str | Layout | None, circuit: Circuit, target: Target
+) -> Layout:
+    """Turn a layout argument (name, Layout, or None) into a Layout."""
+    if layout is None:
+        layout = "dense"
+    if isinstance(layout, Layout):
+        if len(layout) != target.n_qubits:
+            raise ValueError(
+                f"layout covers {len(layout)} qubits, target has "
+                f"{target.n_qubits}"
+            )
+        _check_fits(circuit, target)
+        return layout.copy()
+    try:
+        method = LAYOUT_METHODS[layout]
+    except KeyError:
+        raise ValueError(
+            f"unknown layout method {layout!r} "
+            f"(expected one of {sorted(LAYOUT_METHODS)})"
+        ) from None
+    return method(circuit, target)
+
+
+def _check_fits(circuit: Circuit, target: Target) -> None:
+    if circuit.n_qubits > target.n_qubits:
+        raise ValueError(
+            f"circuit has {circuit.n_qubits} qubits but target "
+            f"{target.name or '<unnamed>'} has only {target.n_qubits}"
+        )

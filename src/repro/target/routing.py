@@ -1,0 +1,424 @@
+"""Connectivity-constrained routing over the dependency DAG.
+
+:func:`route_dag` is a SABRE-style lookahead swap router: it keeps the
+DAG's front layer of ready gates, executes everything already on a
+coupling edge, and otherwise greedily inserts the SWAP that most
+reduces the layout-mapped distance of the front layer plus a discounted
+*extended set* of upcoming two-qubit gates.  A stall guard force-routes
+the oldest blocked gate along a shortest path, so routing always
+terminates.  The router emits a routed DAG on *physical* wires, the
+final virtual->physical permutation, and swap/depth metrics.
+
+:func:`naive_route` is the adjacent-transposition baseline (bring the
+qubits together along a shortest path, apply, swap all the way back) —
+the strategy :class:`repro.tensornet.circuit_mps.CircuitMPS` used to
+hard-code, kept as the comparison point the lookahead router has to
+beat.
+
+Semantics: let ``L0``/``Lf`` be the initial/final layouts.  The routed
+circuit ``R`` on ``n_phys`` wires satisfies ``R = P(Lf) (C ⊗ I)
+P(L0)^{-1}`` exactly (no global phase is introduced by routing alone),
+where ``P(L)`` permutes virtual wire ``v`` onto physical wire
+``L[v]``.  :func:`permute_statevector` applies ``P(L)`` to a dense
+state so tests and callers can verify equivalence directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.dag import BOUNDARY, CircuitDAG
+from repro.circuits.metrics import depth as circuit_depth
+from repro.circuits.metrics import two_qubit_depth
+from repro.target.layout import Layout, resolve_layout
+from repro.target.target import Target
+
+#: Discount applied to the extended (lookahead) set in the swap score.
+DEFAULT_LOOKAHEAD_WEIGHT = 0.5
+#: How many upcoming 2q gates the extended set may contain.
+DEFAULT_LOOKAHEAD = 20
+
+
+@dataclass
+class RoutingMetrics:
+    """Accounting for one routing run."""
+
+    swaps_inserted: int
+    depth_before: int
+    depth_after: int
+    two_qubit_depth_before: int
+    two_qubit_depth_after: int
+    direction_fixes: int = 0
+
+
+@dataclass
+class RoutingResult:
+    """A routed circuit plus the permutation story and metrics."""
+
+    circuit: Circuit
+    target: Target
+    initial_layout: Layout
+    final_layout: Layout
+    metrics: RoutingMetrics
+
+    @property
+    def swaps_inserted(self) -> int:
+        return self.metrics.swaps_inserted
+
+    @property
+    def permutation(self) -> tuple[int, ...]:
+        """Final virtual->physical map: wire ``v`` ends on ``perm[v]``."""
+        return self.final_layout.as_list()
+
+
+def route_dag(
+    dag: CircuitDAG,
+    target: Target,
+    layout: Layout | None = None,
+    lookahead: int = DEFAULT_LOOKAHEAD,
+    lookahead_weight: float = DEFAULT_LOOKAHEAD_WEIGHT,
+) -> tuple[CircuitDAG, Layout, int]:
+    """SABRE-style swap routing of ``dag`` onto ``target``.
+
+    Returns ``(routed_dag, final_layout, swaps_inserted)``; the routed
+    DAG lives on ``target.n_qubits`` physical wires and every 2q gate
+    lies on a coupling edge.  ``layout`` is the initial placement
+    (trivial when omitted) and is not mutated.
+    """
+    cmap = target.coupling
+    n_phys = target.n_qubits
+    if dag.n_qubits > n_phys:
+        raise ValueError(
+            f"circuit has {dag.n_qubits} qubits but target has {n_phys}"
+        )
+    if not cmap.is_connected():
+        raise ValueError("cannot route on a disconnected coupling map")
+    lay = Layout.trivial(n_phys) if layout is None else layout.copy()
+    out = CircuitDAG(n_phys, dag.name)
+
+    pending = {
+        n.id: len({p for p in n.preds.values() if p != BOUNDARY})
+        for n in dag.nodes()
+    }
+    ready = [i for i, deg in pending.items() if deg == 0]
+    heapq.heapify(ready)
+    blocked: list[int] = []  # ready 2q gates not on an edge (id order)
+
+    def complete(node_id: int) -> None:
+        for succ in dag.successors(node_id):
+            pending[succ.id] -= 1
+            if pending[succ.id] == 0:
+                heapq.heappush(ready, succ.id)
+
+    def emit_mapped(gate: Gate) -> None:
+        out.add_gate(
+            Gate(gate.name, tuple(lay.physical(q) for q in gate.qubits),
+                 gate.params)
+        )
+
+    def emit_swap(p: int, q: int) -> None:
+        out.add_gate(Gate("swap", (min(p, q), max(p, q))))
+        lay.swap_physical(p, q)
+
+    swaps = 0
+    stall = 0
+    last_swap: tuple[int, int] | None = None
+    # Hard ceiling: any run needing more swaps than this is a router bug.
+    max_swaps = 4 * (len(dag) + 1) * max(1, cmap.diameter()) + 4 * n_phys
+    while ready or blocked:
+        progressed = False
+        while ready:
+            i = heapq.heappop(ready)
+            node = dag.node(i)
+            if len(node.gate.qubits) == 1:
+                emit_mapped(node.gate)
+                complete(i)
+                progressed = True
+                continue
+            a, b = node.gate.qubits
+            if cmap.distance(lay.physical(a), lay.physical(b)) == 1:
+                emit_mapped(node.gate)
+                complete(i)
+                progressed = True
+            else:
+                blocked.append(i)
+        if progressed:
+            stall = 0
+            last_swap = None
+            if ready or not blocked:
+                continue
+        if not blocked:
+            break
+        blocked.sort()
+        if stall > 2 * n_phys:
+            # Stall guard: force-route the oldest blocked gate along a
+            # shortest path so termination never hinges on the heuristic.
+            node = dag.node(blocked[0])
+            a, b = node.gate.qubits
+            path = cmap.shortest_path(lay.physical(a), lay.physical(b))
+            for k in range(len(path) - 2):
+                emit_swap(path[k], path[k + 1])
+                swaps += 1
+            stall = 0
+        else:
+            edge = _best_swap(
+                cmap, lay, dag, blocked, pending,
+                lookahead, lookahead_weight, last_swap,
+            )
+            emit_swap(*edge)
+            last_swap = edge
+            swaps += 1
+            stall += 1
+        if swaps > max_swaps:
+            raise RuntimeError(
+                "router exceeded its swap budget (internal error)"
+            )
+        # The layout changed: every blocked gate is worth re-checking.
+        for i in blocked:
+            heapq.heappush(ready, i)
+        blocked.clear()
+    return out, lay, swaps
+
+
+def _best_swap(
+    cmap,
+    lay: Layout,
+    dag: CircuitDAG,
+    blocked: list[int],
+    pending: dict[int, int],
+    lookahead: int,
+    lookahead_weight: float,
+    last_swap: tuple[int, int] | None,
+) -> tuple[int, int]:
+    """The candidate SWAP minimizing the lookahead distance score."""
+    front = [dag.node(i).gate.qubits for i in blocked]
+    extended = _extended_set(dag, blocked, pending, lookahead)
+    active = {lay.physical(q) for pair in front for q in pair}
+    candidates = sorted(
+        {
+            (min(p, q), max(p, q))
+            for p in active
+            for q in cmap.neighbors(p)
+        }
+    )
+    if last_swap in candidates and len(candidates) > 1:
+        candidates.remove(last_swap)  # don't immediately undo ourselves
+
+    def score(edge: tuple[int, int]) -> float:
+        p, q = edge
+
+        def mapped(v: int) -> int:
+            phys = lay.physical(v)
+            if phys == p:
+                return q
+            if phys == q:
+                return p
+            return phys
+
+        total = sum(
+            cmap.distance(mapped(a), mapped(b)) for a, b in front
+        ) / len(front)
+        if extended:
+            total += lookahead_weight * sum(
+                cmap.distance(mapped(a), mapped(b)) for a, b in extended
+            ) / len(extended)
+        return total
+
+    return min(candidates, key=lambda e: (score(e), e))
+
+
+def _extended_set(
+    dag: CircuitDAG,
+    blocked: list[int],
+    pending: dict[int, int],
+    lookahead: int,
+) -> list[tuple[int, int]]:
+    """Qubit pairs of the next ``lookahead`` 2q gates past the front."""
+    out: list[tuple[int, int]] = []
+    seen = set(blocked)
+    queue = deque(blocked)
+    while queue and len(out) < lookahead:
+        for succ in dag.successors(queue.popleft()):
+            if succ.id in seen or pending.get(succ.id) is None:
+                continue
+            seen.add(succ.id)
+            queue.append(succ.id)
+            if len(succ.gate.qubits) == 2:
+                out.append(succ.gate.qubits)
+                if len(out) >= lookahead:
+                    break
+    return out
+
+
+def route_circuit(
+    circuit: Circuit,
+    target: Target,
+    layout: str | Layout | None = "dense",
+    lookahead: int = DEFAULT_LOOKAHEAD,
+    lookahead_weight: float = DEFAULT_LOOKAHEAD_WEIGHT,
+) -> RoutingResult:
+    """Route a circuit onto ``target``: layout + SABRE swaps + metrics.
+
+    ``layout`` picks the initial placement: ``"trivial"``, ``"dense"``
+    (default), or an explicit :class:`Layout`.
+    """
+    initial = resolve_layout(layout, circuit, target)
+    dag = CircuitDAG.from_circuit(circuit)
+    routed_dag, final, swaps = route_dag(
+        dag, target, initial, lookahead, lookahead_weight
+    )
+    routed = routed_dag.to_circuit()
+    metrics = RoutingMetrics(
+        swaps_inserted=swaps,
+        depth_before=circuit_depth(circuit),
+        depth_after=circuit_depth(routed),
+        two_qubit_depth_before=two_qubit_depth(circuit),
+        two_qubit_depth_after=two_qubit_depth(routed),
+    )
+    return RoutingResult(
+        circuit=routed,
+        target=target,
+        initial_layout=initial,
+        final_layout=final,
+        metrics=metrics,
+    )
+
+
+def naive_route(
+    circuit: Circuit,
+    target: Target,
+    layout: str | Layout | None = "trivial",
+) -> RoutingResult:
+    """Adjacent-transposition baseline: route there, apply, route back.
+
+    Every non-adjacent 2q gate pays ``2 * (distance - 1)`` swaps and the
+    layout is restored after each gate (final layout == initial layout).
+    This is exactly the swap-chain strategy the MPS simulator hard-coded
+    before the lookahead router existed.
+    """
+    initial = resolve_layout(layout, circuit, target)
+    lay = initial.copy()
+    cmap = target.coupling
+    if not cmap.is_connected():
+        raise ValueError("cannot route on a disconnected coupling map")
+    out = Circuit(target.n_qubits, name=circuit.name)
+    swaps = 0
+    for g in circuit.gates:
+        if len(g.qubits) == 1:
+            out.gates.append(Gate(g.name, (lay.physical(g.qubits[0]),),
+                                  g.params))
+            continue
+        a, b = g.qubits
+        path = cmap.shortest_path(lay.physical(a), lay.physical(b))
+        chain = [(path[k], path[k + 1]) for k in range(len(path) - 2)]
+        for p, q in chain:
+            out.gates.append(Gate("swap", (min(p, q), max(p, q))))
+            lay.swap_physical(p, q)
+            swaps += 1
+        out.gates.append(
+            Gate(g.name, (lay.physical(a), lay.physical(b)), g.params)
+        )
+        for p, q in reversed(chain):
+            out.gates.append(Gate("swap", (min(p, q), max(p, q))))
+            lay.swap_physical(p, q)
+            swaps += 1
+    metrics = RoutingMetrics(
+        swaps_inserted=swaps,
+        depth_before=circuit_depth(circuit),
+        depth_after=circuit_depth(out),
+        two_qubit_depth_before=two_qubit_depth(circuit),
+        two_qubit_depth_after=two_qubit_depth(out),
+    )
+    return RoutingResult(
+        circuit=out,
+        target=target,
+        initial_layout=initial,
+        final_layout=lay,
+        metrics=metrics,
+    )
+
+
+def fix_gate_directions(circuit: Circuit, target: Target) -> tuple[Circuit, int]:
+    """Repair CX orientation on a directed coupling map.
+
+    A routed ``cx(a, b)`` whose native direction is ``b -> a`` becomes
+    ``H a; H b; cx(b, a); H a; H b`` (exact, no global phase).  CZ and
+    SWAP are direction-symmetric and pass through.  Returns the fixed
+    circuit and the number of reversals; on undirected targets this is
+    the identity.  Raises ``ValueError`` for a 2q gate off the coupling
+    map entirely (i.e. an unrouted circuit).
+    """
+    cmap = target.coupling
+    out = Circuit(circuit.n_qubits, name=circuit.name)
+    fixes = 0
+    for g in circuit.gates:
+        if g.name != "cx" or len(g.qubits) != 2:
+            if len(g.qubits) == 2 and not cmap.has_edge(*g.qubits):
+                raise ValueError(
+                    f"2q gate on ({g.qubits[0]}, {g.qubits[1]}) is off the "
+                    "coupling map; route the circuit first"
+                )
+            out.gates.append(g)
+            continue
+        a, b = g.qubits
+        if cmap.allows(a, b):
+            out.gates.append(g)
+        elif cmap.allows(b, a):
+            out.h(a).h(b)
+            out.gates.append(Gate("cx", (b, a)))
+            out.h(a).h(b)
+            fixes += 1
+        else:
+            raise ValueError(
+                f"cx on ({a}, {b}) is off the coupling map; route the "
+                "circuit first"
+            )
+    return out, fixes
+
+
+def on_coupling_edges(circuit: Circuit, target: Target) -> bool:
+    """True when every 2q gate of ``circuit`` lies on a coupling edge."""
+    return all(
+        target.coupling.has_edge(*g.qubits)
+        for g in circuit.gates
+        if len(g.qubits) == 2
+    )
+
+
+def permute_statevector(psi: np.ndarray, l2p) -> np.ndarray:
+    """Apply the layout permutation ``P(L)`` to a dense state.
+
+    Virtual axis ``v`` of ``psi`` moves to physical axis ``l2p[v]``;
+    the result is the state as physical wires see it.
+    """
+    l2p = list(l2p)
+    n = len(l2p)
+    arr = np.asarray(psi, dtype=complex).reshape((2,) * n)
+    return np.moveaxis(arr, list(range(n)), l2p).reshape(-1)
+
+
+def routed_statevector_equivalent(
+    original: Circuit, result: RoutingResult, atol: float = 1e-9
+) -> bool:
+    """Check ``R|0..0> == P(Lf) (C ⊗ I)|0..0>`` for a routing result.
+
+    Embeds the original state with |0> ancillas on the extra physical
+    wires, applies the final-layout permutation, and compares against
+    the routed circuit's statevector exactly (routing introduces no
+    global phase).
+    """
+    n_phys = result.circuit.n_qubits
+    psi = original.statevector()
+    pad = n_phys - original.n_qubits
+    if pad:
+        anc = np.zeros(2**pad, dtype=complex)
+        anc[0] = 1.0
+        psi = np.kron(psi, anc)
+    expected = permute_statevector(psi, result.final_layout.as_list())
+    got = result.circuit.statevector()
+    return bool(np.allclose(got, expected, atol=atol))

@@ -1,0 +1,179 @@
+"""The hardware target model: connectivity plus gate-level calibration.
+
+A :class:`Target` is everything the compiler needs to know about a
+device: qubit count, a :class:`~repro.target.coupling.CouplingMap`, the
+native basis-gate vocabulary, and optional per-gate error/duration
+tables (plus per-edge two-qubit error rates for error-aware layout).
+Targets serialize to JSON so real-device calibration snapshots can be
+fed to the CLI, and :func:`parse_target` implements the compact target
+string grammar (``line:8``, ``grid:3x3``, ``ring:12``,
+``heavy_hex:3``, ``all_to_all:5``, or a ``*.json`` path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.target.coupling import CouplingMap
+
+#: The circuit-IR gate vocabulary a target may restrict.
+DEFAULT_BASIS_GATES = ("cx", "cz", "swap", "u3", "rz", "h")
+
+_GRID_RE = re.compile(r"^(\d+)x(\d+)$")
+
+
+@dataclass(frozen=True)
+class Target:
+    """A compilation target: coupling map, basis gates, calibration."""
+
+    coupling: CouplingMap
+    name: str = ""
+    basis_gates: tuple[str, ...] = DEFAULT_BASIS_GATES
+    #: Per-gate depolarizing error rates (gate name -> rate), feeding
+    #: :meth:`repro.sim.NoiseModel.from_target`.
+    gate_errors: dict[str, float] = field(default_factory=dict)
+    #: Per-gate durations in arbitrary time units (for future schedulers).
+    gate_durations: dict[str, float] = field(default_factory=dict)
+    #: Per-undirected-edge two-qubit error rates, used by the
+    #: error-aware dense layout.  Keys are ``(min(a,b), max(a,b))``.
+    edge_errors: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def n_qubits(self) -> int:
+        return self.coupling.n_qubits
+
+    def edge_error(self, a: int, b: int) -> float:
+        return self.edge_errors.get((min(a, b), max(a, b)), 0.0)
+
+    # -- standard topologies -------------------------------------------------
+    @classmethod
+    def line(cls, n: int, **kwargs) -> "Target":
+        return cls(CouplingMap.line(n), name=f"line:{n}", **kwargs)
+
+    @classmethod
+    def ring(cls, n: int, **kwargs) -> "Target":
+        return cls(CouplingMap.ring(n), name=f"ring:{n}", **kwargs)
+
+    @classmethod
+    def grid(cls, rows: int, cols: int, **kwargs) -> "Target":
+        return cls(
+            CouplingMap.grid(rows, cols), name=f"grid:{rows}x{cols}", **kwargs
+        )
+
+    @classmethod
+    def heavy_hex(cls, rows: int, cols: int | None = None, **kwargs) -> "Target":
+        cmap = CouplingMap.heavy_hex(rows, cols)
+        label = f"heavy_hex:{rows}" if cols is None else f"heavy_hex:{rows}x{cols}"
+        return cls(cmap, name=label, **kwargs)
+
+    @classmethod
+    def all_to_all(cls, n: int, **kwargs) -> "Target":
+        return cls(CouplingMap.all_to_all(n), name=f"all_to_all:{n}", **kwargs)
+
+    # -- JSON interchange ----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_qubits": self.n_qubits,
+            "directed": self.coupling.directed,
+            "edges": [list(e) for e in self.coupling.edge_pairs()],
+            "basis_gates": list(self.basis_gates),
+            "gate_errors": dict(self.gate_errors),
+            "gate_durations": dict(self.gate_durations),
+            "edge_errors": [
+                [a, b, err] for (a, b), err in sorted(self.edge_errors.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Target":
+        try:
+            coupling = CouplingMap(
+                int(data["n_qubits"]),
+                [tuple(e) for e in data["edges"]],
+                directed=bool(data.get("directed", False)),
+            )
+        except KeyError as exc:
+            raise ValueError(f"target JSON missing field {exc.args[0]!r}") from exc
+        edge_errors = {
+            (min(int(a), int(b)), max(int(a), int(b))): float(err)
+            for a, b, err in data.get("edge_errors", [])
+        }
+        return cls(
+            coupling,
+            name=str(data.get("name", "")),
+            basis_gates=tuple(data.get("basis_gates", DEFAULT_BASIS_GATES)),
+            gate_errors={
+                str(k): float(v)
+                for k, v in data.get("gate_errors", {}).items()
+            },
+            gate_durations={
+                str(k): float(v)
+                for k, v in data.get("gate_durations", {}).items()
+            },
+            edge_errors=edge_errors,
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Target":
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+    def __repr__(self) -> str:
+        return (
+            f"Target({self.name or '<unnamed>'}, n_qubits={self.n_qubits}, "
+            f"edges={len(self.coupling.edges)})"
+        )
+
+
+def parse_target(spec: str) -> Target:
+    """Build a target from the CLI string grammar.
+
+    Accepted forms::
+
+        line:N  ring:N  all_to_all:N      one integer parameter
+        grid:RxC                           rows x columns
+        heavy_hex:R  heavy_hex:RxC        rows (columns optional)
+        path/to/target.json                a saved Target snapshot
+
+    Raises ``ValueError`` for anything else.
+    """
+    spec = spec.strip()
+    if spec.endswith(".json") or os.path.exists(spec):
+        return Target.load(spec)
+    kind, sep, arg = spec.partition(":")
+    if not sep or not arg:
+        raise ValueError(
+            f"bad target spec {spec!r}: expected kind:param "
+            "(line:8, ring:12, grid:3x3, heavy_hex:3, all_to_all:5) "
+            "or a .json path"
+        )
+    grid_match = _GRID_RE.match(arg)
+    try:
+        if kind == "grid":
+            if not grid_match:
+                raise ValueError(f"grid target needs RxC, got {arg!r}")
+            return Target.grid(int(grid_match.group(1)), int(grid_match.group(2)))
+        if kind == "heavy_hex":
+            if grid_match:
+                return Target.heavy_hex(
+                    int(grid_match.group(1)), int(grid_match.group(2))
+                )
+            return Target.heavy_hex(int(arg))
+        if kind in ("line", "ring", "all_to_all"):
+            return getattr(Target, kind)(int(arg))
+    except ValueError as exc:
+        # Re-wrap int() parse failures with the offending spec attached.
+        raise ValueError(f"bad target spec {spec!r}: {exc}") from exc
+    raise ValueError(
+        f"unknown target kind {kind!r} "
+        "(expected line, ring, grid, heavy_hex, or all_to_all)"
+    )

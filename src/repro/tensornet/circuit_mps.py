@@ -17,8 +17,11 @@ Conventions
   before its SVD, so local singular values *are* Schmidt coefficients
   and truncation is globally optimal, norm-preserving, and exactly
   accounted.
-* Gates on non-adjacent qubits are routed with explicit swap chains, so
-  arbitrary circuit connectivity works (at a bond-dimension cost).
+* Gates on non-adjacent qubits work at a bond-dimension cost: whole
+  circuits (:meth:`CircuitMPS.run`) are pre-routed to a line target
+  with the lookahead router of :mod:`repro.target.routing` and
+  un-permuted at the end; single long-range gates (:meth:`apply_2q`)
+  fall back to explicit there-and-back swap chains.
 * Truncation keeps the state normalized: discarded Schmidt weight is
   accumulated in :attr:`CircuitMPS.truncation_error` and the kept
   spectrum is rescaled, so fidelities stay comparable across backends
@@ -155,12 +158,54 @@ class CircuitMPS:
         else:
             self.apply_2q(gate.matrix(), *gate.qubits)
 
-    def run(self, circuit: Circuit) -> "CircuitMPS":
+    def run(self, circuit: Circuit, route: bool = True) -> "CircuitMPS":
+        """Apply a whole circuit, pre-routing long-range gates.
+
+        When the circuit contains non-adjacent two-qubit gates and
+        ``route`` is True, the circuit is first routed to a line target
+        with the lookahead router of :mod:`repro.target.routing` —
+        fewer swaps than the per-gate there-and-back chains of
+        :meth:`apply_2q` — and the final qubit permutation is undone
+        with adjacent swaps afterwards, so the resulting state is
+        bit-identical (up to truncation-order effects) to the unrouted
+        path.  ``route=False`` keeps the legacy per-gate chains, which
+        also remain the fallback for tiny circuits.
+        """
         if circuit.n_qubits != self.n:
             raise ValueError("circuit size mismatch")
+        needs_routing = any(
+            len(g.qubits) == 2 and abs(g.qubits[0] - g.qubits[1]) != 1
+            for g in circuit.gates
+        )
+        if route and needs_routing and self.n >= 3:
+            from repro.target import Target, route_circuit
+
+            routed = route_circuit(
+                circuit, Target.line(self.n), layout="trivial"
+            )
+            for gate in routed.circuit.gates:
+                self.apply_gate(gate)
+            self._restore_site_order(routed.final_layout.as_list())
+            return self
         for gate in circuit.gates:
             self.apply_gate(gate)
         return self
+
+    def _restore_site_order(self, l2p) -> None:
+        """Undo a routing permutation with adjacent swaps.
+
+        ``l2p[v]`` is the site currently holding qubit ``v``; after the
+        selection-sort sweep every qubit is back on its own site, so
+        readout (amplitudes, overlaps, statevectors) is unchanged.
+        """
+        p2l = [0] * self.n
+        for v, p in enumerate(l2p):
+            p2l[p] = v
+        for site in range(self.n):
+            src = p2l.index(site, site)
+            for k in range(src - 1, site - 1, -1):
+                self._swap_sites(k)
+                p2l[k], p2l[k + 1] = p2l[k + 1], p2l[k]
 
     # -- measurement-free readout ------------------------------------------
     def norm(self) -> float:

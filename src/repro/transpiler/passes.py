@@ -237,6 +237,8 @@ def transpile(
     basis: str = "u3",
     optimization_level: int = 1,
     commutation: bool = False,
+    target=None,
+    layout="dense",
 ) -> Circuit:
     """Lower ``circuit`` to the chosen IR at an optimization level (0-4).
 
@@ -248,6 +250,12 @@ def transpile(
     (cancel inverses / merge rotations / fold phases) of
     :mod:`repro.optimizers.dag_passes`.
 
+    ``target`` (a :class:`repro.target.Target`) makes the lowering
+    connectivity-constrained: the circuit is placed (``layout`` =
+    ``'trivial'``/``'dense'``/a ``Layout``), SABRE-routed, and
+    direction-fixed before optimization, so every 2q gate of the output
+    lies on a coupling edge.
+
     The pass sequence per level lives in
     :mod:`repro.pipeline.presets`; this function is sugar for
     ``preset_pipeline(basis, optimization_level, commutation).run(...)``.
@@ -255,7 +263,9 @@ def transpile(
     # Imported lazily: repro.pipeline wraps this module's pass functions.
     from repro.pipeline.presets import preset_pipeline
 
-    return preset_pipeline(basis, optimization_level, commutation).run(circuit)
+    return preset_pipeline(
+        basis, optimization_level, commutation, target=target, layout=layout
+    ).run(circuit)
 
 
 def _isolate_1q(circuit: Circuit) -> Circuit:

@@ -197,6 +197,36 @@ class TestCircuitMPS:
         b = MPSBackend().run(c).mps
         assert abs(a.overlap(b)) == pytest.approx(1.0, abs=1e-9)
 
+    def test_routed_run_matches_legacy_swap_chains(self):
+        # CircuitMPS.run pre-routes long-range gates with the lookahead
+        # router (repro.target) and undoes the permutation; the state —
+        # and therefore any fidelity — must match the legacy per-gate
+        # there-and-back chains exactly when nothing truncates.
+        rng = np.random.default_rng(9)
+        n = 6
+        c = Circuit(n)
+        for _ in range(30):
+            if rng.random() < 0.4:
+                c.u3(*rng.uniform(0, np.pi, 3), int(rng.integers(n)))
+            else:
+                a, b = rng.choice(n, 2, replace=False)
+                c.cx(int(a), int(b))
+        routed = CircuitMPS(n, max_bond=128).run(c)
+        legacy = CircuitMPS(n, max_bond=128).run(c, route=False)
+        psi = c.statevector()
+        f_routed = abs(np.vdot(psi, routed.to_statevector())) ** 2
+        f_legacy = abs(np.vdot(psi, legacy.to_statevector())) ** 2
+        assert f_routed == pytest.approx(1.0, abs=1e-9)
+        assert f_routed == pytest.approx(f_legacy, abs=1e-9)
+
+    def test_adjacent_only_circuit_skips_routing(self):
+        # No long-range 2q gate: run() must not touch repro.target.
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2).cx(2, 1)
+        mps = CircuitMPS(3).run(c)
+        assert abs(np.vdot(c.statevector(), mps.to_statevector())) ** 2 == (
+            pytest.approx(1.0, abs=1e-12)
+        )
+
 
 class TestSelectBackend:
     def test_auto_dispatch_rules(self):

@@ -64,6 +64,22 @@ class TestQASM:
         with pytest.raises(QASMError):
             from_qasm("qreg q[1];\nrz(__import__) q[0];\n")
 
+    def test_typo_gate_names_the_gate(self):
+        # A typo'd gate name surfaces as "unsupported gate 'cxx'", not a
+        # generic parameter/parse message.
+        with pytest.raises(QASMError, match="unsupported gate 'cxx'"):
+            from_qasm("qreg q[2];\ncxx q[0],q[1];\n")
+
+    def test_param_errors_carry_cause(self):
+        # Division by zero and malformed arithmetic both become
+        # QASMError with the original exception chained, not swallowed.
+        with pytest.raises(QASMError) as info:
+            from_qasm("qreg q[1];\nrz(1/0) q[0];\n")
+        assert isinstance(info.value.__cause__, ZeroDivisionError)
+        with pytest.raises(QASMError) as info:
+            from_qasm("qreg q[1];\nrz(1+*2) q[0];\n")
+        assert isinstance(info.value.__cause__, SyntaxError)
+
 
 class TestDrawing:
     def test_draw_contains_gates(self):
