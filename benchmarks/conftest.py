@@ -9,7 +9,11 @@ paper-scale runs used A100-class hardware and hours of compute):
 * RQ2 angles:      10 * scale   (paper: 1000)
 
 Results are printed and also written to ``benchmarks/results/`` so the
-EXPERIMENTS.md comparison can be refreshed from artifacts.
+EXPERIMENTS.md comparison can be refreshed from artifacts.  Result
+files whose content includes wall-clock timings differ on every rerun
+and would dirty the tree each time the benchmarks execute; those are
+only (re)written when ``REPRO_WRITE_RESULTS=1`` explicitly asks for a
+regeneration.
 """
 
 from __future__ import annotations
@@ -21,13 +25,23 @@ import pytest
 
 SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
 RESULTS_DIR = Path(__file__).parent / "results"
+WRITE_TIMING_RESULTS = os.environ.get("REPRO_WRITE_RESULTS", "") == "1"
 
 
-def write_result(name: str, text: str) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+def write_result(name: str, text: str, timing: bool = False) -> None:
+    """Print a result block and persist it under ``benchmarks/results``.
+
+    ``timing=True`` marks content carrying wall-clock measurements:
+    those files churn on every rerun, so they are persisted only under
+    the explicit ``REPRO_WRITE_RESULTS=1`` regenerate flag (the block
+    is always printed either way).
+    """
     print()
     print(text)
+    if timing and not WRITE_TIMING_RESULTS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
 @pytest.fixture(scope="session")

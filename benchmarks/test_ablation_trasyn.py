@@ -9,6 +9,11 @@ Not a paper figure — an ablation of the search stages on Haar targets:
 * probabilistic mixing extension (paper §5: quadratic worst-case gain).
 """
 
+import pytest
+
+# Excluded from the fast PR gate: re-synthesizes the ablation grid per stage.
+pytestmark = pytest.mark.slow
+
 import numpy as np
 from conftest import SCALE, write_result
 

@@ -4,6 +4,11 @@ Paper: T-count geomean 1.38x (max 3.5x), Clifford geomean 2.44x (max
 7x), infidelity improvement geomean 2.07x at logical rate 1e-5.
 """
 
+import pytest
+
+# Excluded from the fast PR gate: the rq3_results session fixture compiles the whole suite.
+pytestmark = pytest.mark.slow
+
 from conftest import write_result
 
 from repro.experiments.reporting import format_table

@@ -5,6 +5,11 @@ Paper: for each logical rate an optimal synthesis threshold exists
 (Fig 9b); a threshold of 0.001 suffices for logical rates 1e-6..1e-7.
 """
 
+import pytest
+
+# Excluded from the fast PR gate: sweeps the full RQ2 threshold grid.
+pytestmark = pytest.mark.slow
+
 from conftest import SCALE, write_result
 
 from repro.experiments.reporting import format_table

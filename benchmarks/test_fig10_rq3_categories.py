@@ -5,6 +5,11 @@ Paper geomeans: T count 1.64 (QAOA) / 1.46 (quantum Ham) / 1.09
 Quantum Hamiltonians and QAOA benefit most from the U3 IR.
 """
 
+import pytest
+
+# Excluded from the fast PR gate: shares the heavyweight rq3_results session fixture.
+pytestmark = pytest.mark.slow
+
 from conftest import write_result
 
 from repro.experiments.reporting import format_table

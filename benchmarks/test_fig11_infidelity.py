@@ -4,6 +4,11 @@ Paper shape: infidelities grow with rotation count (additive error
 accumulation), spanning ~1e-5 to ~1e-1 across the suite.
 """
 
+import pytest
+
+# Excluded from the fast PR gate: shares the heavyweight rq3_results session fixture.
+pytestmark = pytest.mark.slow
+
 from conftest import write_result
 
 from repro.experiments.reporting import format_table

@@ -5,6 +5,11 @@ counts (generic Euler angles reappear), which in turn costs more T
 gates than the direct trasyn workflow.
 """
 
+import pytest
+
+# Excluded from the fast PR gate: block resynthesis over the benchmark suite.
+pytestmark = pytest.mark.slow
+
 from conftest import SCALE, write_result
 
 from repro.bench_circuits import benchmark_suite

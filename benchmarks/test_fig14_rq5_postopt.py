@@ -5,6 +5,11 @@ reclaim the T advantage — ratios barely move; Clifford advantage narrows
 slightly but survives.
 """
 
+import pytest
+
+# Excluded from the fast PR gate: shares the heavyweight rq3_results session fixture.
+pytestmark = pytest.mark.slow
+
 from conftest import write_result
 
 from repro.experiments.reporting import format_table, geomean

@@ -4,6 +4,11 @@ Paper: T-count reduction min 2.31x / geomean 3.74x / max 6.12x;
 Clifford reduction min 3.39x / geomean 5.73x / max 9.41x.
 """
 
+import pytest
+
+# Excluded from the fast PR gate: shares the heavyweight rq1_result session fixture.
+pytestmark = pytest.mark.slow
+
 from conftest import write_result
 
 from repro.experiments.reporting import format_table

@@ -30,36 +30,49 @@ from repro.pipeline import (
     compile_circuit,
     preset_pipeline,
 )
-from repro.synthesis import GateSequence, synthesize, trasyn
+from repro.schedule import (
+    Schedule,
+    insert_idle_markers,
+    schedule_circuit,
+    with_idle_noise,
+)
+from repro.synthesis import GateSequence, allocate_eps_budget, synthesize, trasyn
 from repro.synthesis.gridsynth import gridsynth_rz, gridsynth_u3
 from repro.target import (
     CouplingMap,
+    EspEstimate,
     Layout,
     RoutingMetrics,
     RoutingResult,
     Target,
+    estimate_esp,
     parse_target,
     route_circuit,
 )
 from repro.transpiler import transpile
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Circuit",
     "CircuitDAG",
     "CouplingMap",
+    "EspEstimate",
     "GateSequence",
     "Layout",
     "PassManager",
     "RoutingMetrics",
     "RoutingResult",
+    "Schedule",
     "SynthesisCache",
     "Target",
+    "allocate_eps_budget",
     "build_table",
     "compile_batch",
     "compile_circuit",
+    "estimate_esp",
     "get_table",
+    "insert_idle_markers",
     "gridsynth_rz",
     "gridsynth_u3",
     "haar_random_u2",
@@ -68,9 +81,11 @@ __all__ = [
     "preset_pipeline",
     "route_circuit",
     "rz",
+    "schedule_circuit",
     "synthesize",
     "trace_distance",
     "transpile",
     "trasyn",
     "u3",
+    "with_idle_noise",
 ]

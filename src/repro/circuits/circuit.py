@@ -48,6 +48,33 @@ _DAGGER_NAME = {
 }
 
 
+def is_idle_marker(gate: "Gate") -> bool:
+    """True for the scheduler's idle-period markers.
+
+    :func:`repro.schedule.insert_idle_markers` represents a qubit's
+    idle slack as an identity gate carrying the idle duration as its
+    single parameter (``Gate("i", (q,), (duration,))``).  A plain
+    ``"i"`` gate built through :meth:`Circuit.append` never carries
+    parameters, so the two cannot be confused.  This predicate is the
+    single definition of the marker convention shared by the
+    scheduler, the noise models, and the ESP cost model.
+    """
+    return gate.name == "i" and len(gate.params) == 1
+
+
+def canonical_gate_name(name: str) -> str:
+    """Canonical (lower-case) gate name shared by every table lookup.
+
+    Circuit IR gates are lower-case (``"t"``) while synthesis token
+    sequences are capitalized (``"T"``) and calibration JSON may use
+    vendor spellings (``"CX"``, ``"Tdg"``); every name-keyed table in
+    the noise, fidelity, target, and scheduling layers goes through
+    this normalization so a gate can never silently miss its entry
+    depending on which layer produced the name.
+    """
+    return name.lower()
+
+
 @dataclass(frozen=True)
 class Gate:
     """One circuit operation: ``name`` on ``qubits`` with ``params``."""

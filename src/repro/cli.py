@@ -6,6 +6,7 @@ synth-rz       Synthesize one Rz(theta) rotation with gridsynth.
 synth-u3       Synthesize an arbitrary unitary (three Euler angles) with trasyn.
 compile        Compile an OpenQASM 2.0 file through a synthesis workflow.
 compile-batch  Compile many OpenQASM files in parallel with a shared cache.
+schedule       ASAP/ALAP timed schedule, idle accounting, and predicted ESP.
 simulate       Noisy fidelity evaluation through a simulation backend.
 catalog        Print the Clifford+T enumeration summary for a T budget.
 estimate       Surface-code resource estimate for an OpenQASM file.
@@ -86,7 +87,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     result = compile_circuit(
         circuit, workflow=args.workflow, eps=args.eps, cache=cache,
         seed=args.seed, optimization_level=args.optimization_level,
-        target=target, layout=args.layout,
+        target=target, layout=args.layout, objective=args.objective,
+        eps_budget=args.eps_budget,
     )
     out = result.circuit
     if result.routing is not None:
@@ -96,6 +98,16 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         print(f"direction fixes       : {m.direction_fixes}")
         print(f"routed depth          : {m.depth_before} -> {m.depth_after}")
         print(f"output permutation    : {result.routing.permutation}")
+    if result.objective != "count":
+        print(f"objective             : {result.objective}")
+    if result.schedule is not None:
+        print(f"schedule makespan     : {result.makespan:g}")
+    if result.esp_estimate is not None:
+        print(f"predicted ESP         : {result.esp:.6f}")
+    if result.eps_allocation:
+        lo, hi = min(result.eps_allocation), max(result.eps_allocation)
+        print(f"eps budget allocation : {len(result.eps_allocation)} slices "
+              f"in [{lo:.2e}, {hi:.2e}]")
     print(f"rotations synthesized : {result.n_rotations}")
     print(f"T count               : {t_count(out)}")
     print(f"T depth               : {t_depth(out)}")
@@ -128,13 +140,16 @@ def _cmd_compile_batch(args: argparse.Namespace) -> int:
         circuits, workflow=args.workflow, eps=args.eps, cache=cache,
         seed=args.seed, max_workers=args.jobs,
         optimization_level=args.optimization_level,
-        target=target, layout=args.layout,
+        target=target, layout=args.layout, objective=args.objective,
+        eps_budget=args.eps_budget,
     )
     stats = cache.stats()
     for path, result in zip(args.inputs, batch.results):
         extra = ""
         if result.routing is not None:
             extra = f" swaps={result.routing.swaps_inserted}"
+        if result.esp_estimate is not None:
+            extra += f" esp={result.esp:.4f}"
         print(f"{path}: rotations={result.n_rotations} "
               f"T={result.t_count} Clifford={result.clifford_count} "
               f"error<={result.total_synthesis_error:.3e}{extra}")
@@ -166,6 +181,37 @@ def _cmd_compile_batch(args: argparse.Namespace) -> int:
             print(f"wrote {dest}")
     if args.cache_file:
         cache.save(args.cache_file)
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.circuits.qasm import from_qasm
+    from repro.schedule import schedule_circuit
+    from repro.target.cost import estimate_esp
+
+    with open(args.input) as f:
+        circuit = from_qasm(f.read())
+    target = _parse_target_arg(args.target)
+    work = circuit
+    if target is not None and args.route:
+        from repro.target import fix_gate_directions, route_circuit
+
+        routed = route_circuit(circuit, target, layout=args.layout)
+        work, _ = fix_gate_directions(routed.circuit, target)
+        print(f"routed onto           : {target.name or args.target} "
+              f"({routed.swaps_inserted} swaps)")
+    sched = schedule_circuit(work, target, method=args.method)
+    print(sched.summary())
+    slack = sched.idle_slack()
+    busy = {q: sched.busy_time(q) for q in slack}
+    for q in sorted(slack):
+        print(f"  q{q:<3d} busy {busy[q]:>8g}   idle {slack[q]:>8g}")
+    if target is not None and target.is_calibrated:
+        est = estimate_esp(work, target, schedule=sched)
+        print(est.summary())
+    if args.timeline:
+        print()
+        print(sched.render(width=args.width))
     return 0
 
 
@@ -268,6 +314,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "heavy_hex:3, all_to_all:5, or a target .json")
     p.add_argument("--layout", choices=("trivial", "dense"), default="dense",
                    help="initial placement strategy for --target")
+    p.add_argument("--objective", choices=("count", "depth", "esp"),
+                   default="count",
+                   help="variant-selection objective: fewest rotations "
+                        "(default), shortest timed schedule, or highest "
+                        "predicted success probability")
+    p.add_argument("--eps-budget", type=float, default=None,
+                   help="circuit-level accuracy budget split across "
+                        "rotations by schedule criticality (replaces the "
+                        "flat per-rotation --eps)")
     p.add_argument("--output", default=None)
     p.add_argument("--cache-file", default=None,
                    help="JSON synthesis cache to reuse and update")
@@ -291,6 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "heavy_hex:3, all_to_all:5, or a target .json")
     p.add_argument("--layout", choices=("trivial", "dense"), default="dense",
                    help="initial placement strategy for --target")
+    p.add_argument("--objective", choices=("count", "depth", "esp"),
+                   default="count",
+                   help="variant-selection objective (see compile)")
+    p.add_argument("--eps-budget", type=float, default=None,
+                   help="circuit-level accuracy budget split across "
+                        "rotations by schedule criticality")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker threads (default: one per circuit, "
                         "capped at CPU count)")
@@ -299,6 +360,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output-dir", default=None,
                    help="write each compiled circuit as QASM here")
     p.set_defaults(func=_cmd_compile_batch)
+
+    p = sub.add_parser(
+        "schedule",
+        help="ASAP/ALAP timed schedule with idle accounting and, on "
+             "calibrated targets, the predicted success probability",
+    )
+    p.add_argument("input")
+    p.add_argument("--target", default=None,
+                   help="hardware target supplying gate durations (and "
+                        "calibration for the ESP estimate)")
+    p.add_argument("--method", choices=("asap", "alap"), default="asap",
+                   help="scheduling discipline (default asap)")
+    p.add_argument("--route", action="store_true",
+                   help="lay out and route onto --target before scheduling")
+    p.add_argument("--layout", choices=("trivial", "dense"), default="dense",
+                   help="initial placement strategy for --route")
+    p.add_argument("--timeline", action="store_true",
+                   help="render the ASCII per-qubit timeline")
+    p.add_argument("--width", type=int, default=72,
+                   help="timeline width in columns (default 72)")
+    p.set_defaults(func=_cmd_schedule)
 
     p = sub.add_parser(
         "simulate",

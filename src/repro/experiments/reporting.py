@@ -72,6 +72,22 @@ def routing_table(rows: Sequence[Sequence]) -> str:
     return format_table(ROUTING_HEADERS, padded)
 
 
+#: Column set for schedule/ESP validation tables: identity, routing
+#: overhead, timing, both ESP predictions, and the measured fidelity.
+ESP_HEADERS = (
+    "circuit", "target", "swaps", "makespan", "idle",
+    "esp(count)", "esp(esp)", "fidelity", "fid-esp",
+)
+
+
+def esp_table(rows: Sequence[Sequence]) -> str:
+    """Render ESP-validation rows under :data:`ESP_HEADERS`."""
+    padded = [
+        list(row) + [""] * (len(ESP_HEADERS) - len(row)) for row in rows
+    ]
+    return format_table(ESP_HEADERS, padded)
+
+
 def print_header(title: str) -> None:
     print()
     print("=" * len(title))

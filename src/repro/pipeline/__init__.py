@@ -20,6 +20,7 @@ compiler service:
 
 from repro.pipeline.batch import (
     DEFAULT_EPS,
+    OBJECTIVES,
     BatchResult,
     SynthesizedCircuit,
     compile_batch,
@@ -41,6 +42,7 @@ from repro.pipeline.passes import (
     DAGPass,
     DagOptimize,
     DecomposeToRzBasis,
+    EstimateESP,
     FixDirections,
     FoldPhases,
     FunctionPass,
@@ -52,6 +54,7 @@ from repro.pipeline.passes import (
     PassMetrics,
     PipelineResult,
     RouteToTarget,
+    SchedulePass,
     SetLayout,
     SnapTrivialRotations,
 )
@@ -75,18 +78,21 @@ __all__ = [
     "DagOptimize",
     "DEFAULT_EPS",
     "DecomposeToRzBasis",
+    "EstimateESP",
     "FixDirections",
     "FoldPhases",
     "FunctionPass",
     "IsolateU3",
     "MergeRotations",
     "MergeRuns",
+    "OBJECTIVES",
     "OPTIMIZATION_LEVELS",
     "Pass",
     "PassManager",
     "PassMetrics",
     "PipelineResult",
     "RouteToTarget",
+    "SchedulePass",
     "SetLayout",
     "SnapTrivialRotations",
     "SynthesisCache",

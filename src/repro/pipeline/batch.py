@@ -35,10 +35,20 @@ from repro.circuits import (
 from repro.circuits.circuit import Gate
 from repro.pipeline.cache import SynthesisCache, key_rz, key_u3
 from repro.pipeline.passes import PassManager
-from repro.pipeline.presets import best_preset_lowering, preset_pipeline
+from repro.pipeline.presets import (
+    best_preset_lowering,
+    iter_presets,
+    preset_pipeline,
+)
 from repro.synthesis import GateSequence
 
 DEFAULT_EPS = 0.007  # the paper's RQ3 per-rotation threshold
+
+#: Objectives ``compile_circuit`` can optimize the preset/target
+#: variant grid for: fewest nontrivial rotations (the paper's Section
+#: 3.4 criterion), shortest timed schedule, or highest predicted
+#: success probability under the target's calibration.
+OBJECTIVES = ("count", "depth", "esp")
 
 
 def map_parallel(fn, items: Sequence, max_workers: int | None = None) -> list:
@@ -79,6 +89,32 @@ class SynthesizedCircuit:
     #: Layout/routing provenance when compiled against a hardware
     #: target (:class:`repro.target.RoutingResult`), else None.
     routing: object | None = None
+    #: ASAP timed schedule of the final circuit
+    #: (:class:`repro.schedule.Schedule`) when compiled against a
+    #: target or a time/noise objective, else None.
+    schedule: object | None = None
+    #: Predicted success probability
+    #: (:class:`repro.target.EspEstimate`) when a target was given.
+    esp_estimate: object | None = None
+    #: The objective the winning variant was selected under.
+    objective: str = "count"
+    #: Per-rotation epsilon allocation when compiled under an
+    #: ``eps_budget`` (flat-order slice per synthesized rotation).
+    eps_allocation: tuple[float, ...] | None = None
+
+    @property
+    def esp(self) -> float | None:
+        """Predicted success probability, if estimated."""
+        return self.esp_estimate.esp if self.esp_estimate is not None else None
+
+    @property
+    def makespan(self) -> float | None:
+        """Schedule length of the final circuit, if scheduled.
+
+        ``is not None`` matters: a gate-free circuit's Schedule has
+        ``len() == 0`` and is falsy, but its makespan (0.0) is real.
+        """
+        return self.schedule.makespan if self.schedule is not None else None
 
     @property
     def t_count(self) -> int:
@@ -130,6 +166,7 @@ def synthesize_lowered(
     cache: SynthesisCache,
     rng_for: Callable[[tuple], np.random.Generator],
     name: str | None = None,
+    eps_schedule: Sequence[float] | None = None,
 ) -> SynthesizedCircuit:
     """Replace every nontrivial rotation of a lowered circuit.
 
@@ -137,6 +174,11 @@ def synthesize_lowered(
     ``basis='rz'`` expects CX+H+Rz and synthesizes with gridsynth.
     ``rng_for`` maps a cache key to the generator used on a cache miss
     (trasyn only; gridsynth is deterministic).
+
+    ``eps_schedule`` overrides the flat ``eps`` with one threshold per
+    nontrivial rotation in flat gate order — the consumption side of
+    :func:`repro.synthesis.allocate_eps_budget` (trivial-angle
+    rotations synthesize exactly and consume no slice).
     """
     from repro.synthesis import trasyn
     from repro.synthesis.gridsynth import gridsynth_rz
@@ -148,6 +190,17 @@ def synthesize_lowered(
     out = Circuit(lowered.n_qubits, name=name or lowered.name)
     n_rot = 0
     total_err = 0.0
+
+    def next_eps() -> float:
+        if eps_schedule is None:
+            return eps
+        if n_rot > len(eps_schedule):
+            raise ValueError(
+                f"eps_schedule has {len(eps_schedule)} entries but the "
+                f"circuit has more nontrivial rotations"
+            )
+        return float(eps_schedule[n_rot - 1])
+
     for g in lowered.gates:
         if basis == "u3" and g.name == "u3":
             q = g.qubits[0]
@@ -155,11 +208,14 @@ def synthesize_lowered(
                 append_sequence(out, trivial_u3_sequence(g).gates, q)
                 continue
             n_rot += 1
-            key = key_u3(*g.params, eps)
+            eps_g = next_eps()
+            key = key_u3(*g.params, eps_g)
             target = g.matrix()
             seq = cache.get_or(
                 key,
-                lambda: trasyn(target, error_threshold=eps, rng=rng_for(key)),
+                lambda: trasyn(
+                    target, error_threshold=eps_g, rng=rng_for(key)
+                ),
             )
             total_err += seq.error
             append_sequence(out, seq.gates, q)
@@ -171,8 +227,9 @@ def synthesize_lowered(
                 append_sequence(out, t_power_tokens(j), q)
                 continue
             n_rot += 1
-            key = key_rz(theta, eps)
-            seq = cache.get_or(key, lambda: gridsynth_rz(theta, eps))
+            eps_g = next_eps()
+            key = key_rz(theta, eps_g)
+            seq = cache.get_or(key, lambda: gridsynth_rz(theta, eps_g))
             total_err += seq.error
             append_sequence(out, seq.gates, q)
         elif g.name in ("rx", "ry", "rz", "u3"):
@@ -185,6 +242,8 @@ def synthesize_lowered(
         n_rotations=n_rot,
         total_synthesis_error=total_err,
         wall_time=time.monotonic() - start,
+        eps_allocation=tuple(eps_schedule) if eps_schedule is not None
+        else None,
     )
 
 
@@ -203,6 +262,54 @@ def _lower(
     return pm.run(circuit)
 
 
+def _route_to_target(circuit: Circuit, target, layout, cost_aware=None):
+    """Layout + route + direction-fix: ``(RoutingResult, fixed circuit)``."""
+    from repro.circuits import depth, two_qubit_depth
+    from repro.target import fix_gate_directions, route_circuit
+
+    routing = route_circuit(
+        circuit, target, layout=layout, cost_aware=cost_aware
+    )
+    fixed, n_fixes = fix_gate_directions(routing.circuit, target)
+    if n_fixes:
+        # The result must carry the circuit actually compiled (and
+        # its real depths), not the pre-fix orientation.
+        routing.circuit = fixed
+        routing.metrics.depth_after = depth(fixed)
+        routing.metrics.two_qubit_depth_after = two_qubit_depth(fixed)
+    routing.metrics.direction_fixes = n_fixes
+    return routing, fixed
+
+
+def _routing_variants(target, layout, objective):
+    """The (layout, cost_aware) grid an objective search routes over.
+
+    Always contains the error-agnostic route of the requested layout —
+    the pre-cost-model baseline — so an objective search can only ever
+    match or beat it.  Calibrated targets add the cost-aware tie-break
+    variant; the ESP objective additionally tries the alternate layout
+    strategy.
+    """
+    variants = [(layout, False)]
+    if getattr(target, "edge_errors", None):
+        variants.append((layout, True))
+    if objective == "esp" and isinstance(layout, str):
+        alt = "trivial" if layout == "dense" else "dense"
+        variants.append((alt, bool(getattr(target, "edge_errors", None))))
+    return variants
+
+
+def _variant_score(objective: str, result: SynthesizedCircuit, target):
+    """Ranking key (lower is better) for one compiled variant."""
+    if objective == "esp":
+        esp = result.esp if result.esp is not None else 1.0
+        return (-esp, result.makespan or 0.0, result.n_rotations)
+    if objective == "depth":
+        return (result.makespan or 0.0, result.n_rotations,
+                len(result.circuit.gates))
+    return (result.n_rotations, len(result.circuit.gates))
+
+
 def compile_circuit(
     circuit: Circuit,
     workflow: str = "trasyn",
@@ -215,6 +322,9 @@ def compile_circuit(
     pre_transpiled: bool = False,
     target=None,
     layout="dense",
+    objective: str = "count",
+    eps_budget: float | None = None,
+    cost_aware: bool | None = None,
 ) -> SynthesizedCircuit:
     """Compile one circuit to Clifford+T through the pass pipeline.
 
@@ -226,7 +336,7 @@ def compile_circuit(
     optimization_level:
         0-4 selects one preset (4 = the paper's level 3 plus the DAG
         cancel/merge/fold fixpoint); ``'best'`` (default) searches the
-        full preset grid for the fewest-rotations lowering.
+        full preset grid for the objective's winner.
     commutation:
         Pin the commutation pass on/off; ``None`` means "off" for fixed
         levels and "search both" for ``'best'``.
@@ -237,43 +347,132 @@ def compile_circuit(
         out (``layout``), SABRE-routed, and direction-fixed before
         lowering, and the returned result carries the
         :class:`~repro.target.RoutingResult` (swap count, permutation,
-        depths) as ``result.routing``.
+        depths) as ``result.routing`` plus the timed schedule and ESP
+        prediction of the final circuit.
+    objective:
+        What the preset×target variant grid is ranked by: ``'count'``
+        (fewest nontrivial rotations, the historical behavior and
+        paper Section 3.4), ``'depth'`` (shortest timed schedule
+        under the target's gate durations), or ``'esp'`` (highest
+        predicted success probability under the target's calibration —
+        the search additionally tries the cost-aware routing variants
+        and synthesizes every candidate through the shared cache).
+    eps_budget:
+        Circuit-level accuracy budget replacing the flat per-rotation
+        ``eps``: :func:`repro.synthesis.allocate_eps_budget` splits it
+        across rotations in inverse proportion to their schedule
+        criticality, and the allocation is recorded on
+        ``result.eps_allocation``.
+    cost_aware:
+        Error-aware routing tie-breaks for the single-variant path
+        (see :func:`repro.target.route_dag`; ``None`` auto-enables on
+        per-edge-calibrated targets).  Pass ``False`` to pin the
+        error-agnostic router, e.g. as an experimental baseline.  The
+        objective grid explores both settings regardless.
     """
     if workflow not in _WORKFLOW_BASIS:
         raise ValueError("workflow must be 'trasyn' or 'gridsynth'")
+    if objective not in OBJECTIVES:
+        raise ValueError(
+            f"objective must be one of {OBJECTIVES}, got {objective!r}"
+        )
+    if objective == "esp" and target is None:
+        # Without calibration every variant scores ESP 1.0 and the
+        # "search" would silently degrade to a plain compile.
+        raise ValueError(
+            "objective='esp' needs a target (its calibration defines the "
+            "success probability being maximized)"
+        )
     basis = _WORKFLOW_BASIS[workflow]
     start = time.monotonic()
-    routing = None
-    if target is not None and not pre_transpiled:
-        from repro.circuits import depth, two_qubit_depth
-        from repro.target import fix_gate_directions, route_circuit
-
-        routing = route_circuit(circuit, target, layout=layout)
-        fixed, n_fixes = fix_gate_directions(routing.circuit, target)
-        if n_fixes:
-            # The result must carry the circuit actually compiled (and
-            # its real depths), not the pre-fix orientation.
-            routing.circuit = fixed
-            routing.metrics.depth_after = depth(fixed)
-            routing.metrics.two_qubit_depth_after = two_qubit_depth(fixed)
-        routing.metrics.direction_fixes = n_fixes
-        work = fixed
-    else:
-        work = circuit
-    if pre_transpiled:
-        lowered = work
-    else:
-        lowered = _lower(work, basis, optimization_level, commutation,
-                         pipeline)
     if cache is None:
         cache = SynthesisCache()
-    result = synthesize_lowered(
-        lowered, basis, eps, cache,
-        rng_for=lambda key: rng_for_key(seed, key),
-        name=circuit.name + f"_{workflow}",
+
+    def synth(lowered: Circuit, routing) -> SynthesizedCircuit:
+        eps_schedule = None
+        if eps_budget is not None:
+            from repro.synthesis import allocate_eps_budget
+
+            eps_schedule = allocate_eps_budget(lowered, eps_budget, target)
+        result = synthesize_lowered(
+            lowered, basis, eps, cache,
+            rng_for=lambda key: rng_for_key(seed, key),
+            name=circuit.name + f"_{workflow}",
+            eps_schedule=eps_schedule,
+        )
+        result.routing = routing
+        result.objective = objective
+        if target is not None:
+            from repro.schedule import schedule_circuit
+            from repro.target.cost import estimate_esp
+
+            result.schedule = schedule_circuit(result.circuit, target)
+            result.esp_estimate = estimate_esp(
+                result.circuit, target, schedule=result.schedule
+            )
+        elif objective == "depth":
+            from repro.schedule import schedule_circuit
+
+            result.schedule = schedule_circuit(result.circuit)
+        return result
+
+    single_variant = (
+        objective == "count"
+        or pre_transpiled
+        or pipeline is not None
     )
+    if single_variant:
+        routing = None
+        work = circuit
+        if target is not None and not pre_transpiled:
+            routing, work = _route_to_target(
+                circuit, target, layout, cost_aware
+            )
+        lowered = work if pre_transpiled else _lower(
+            work, basis, optimization_level, commutation, pipeline
+        )
+        result = synth(lowered, routing)
+    else:
+        # Objective-driven search: every routing variant × lowering
+        # preset is synthesized (the shared cache de-duplicates the
+        # rotation work) and ranked by the objective's score.  The
+        # error-agnostic dense route + every preset is always in the
+        # grid, so the winner is never worse than the baseline.
+        candidates: list[tuple[tuple, SynthesizedCircuit]] = []
+        route_grid = (
+            _routing_variants(target, layout, objective)
+            if target is not None
+            else [None]
+        )
+        for route_variant in route_grid:
+            if route_variant is None:
+                routing, work = None, circuit
+            else:
+                variant_layout, cost_aware = route_variant
+                routing, work = _route_to_target(
+                    circuit, target, variant_layout, cost_aware
+                )
+            if optimization_level == "best":
+                lowerings = [
+                    pm.run(work)
+                    for _, comm, pm in iter_presets(basis)
+                    if commutation is None or comm == commutation
+                ]
+            else:
+                pm = preset_pipeline(
+                    basis, int(optimization_level), bool(commutation)
+                )
+                lowerings = [pm.run(work)]
+            for lowered in lowerings:
+                result = synth(lowered, routing)
+                candidates.append(
+                    (_variant_score(objective, result, target), result)
+                )
+        if not candidates:
+            raise RuntimeError("objective search produced no candidate")
+        candidates.sort(key=lambda c: c[0])
+        result = candidates[0][1]
     result.wall_time = time.monotonic() - start
-    result.routing = routing
     return result
 
 
@@ -318,6 +517,8 @@ def compile_batch(
     pipeline: PassManager | None = None,
     target=None,
     layout="dense",
+    objective: str = "count",
+    eps_budget: float | None = None,
 ) -> BatchResult:
     """Compile many circuits concurrently with a shared synthesis cache.
 
@@ -337,6 +538,7 @@ def compile_batch(
             circuit, workflow=workflow, eps=eps, cache=cache, seed=seed,
             optimization_level=optimization_level, commutation=commutation,
             pipeline=pipeline, target=target, layout=layout,
+            objective=objective, eps_budget=eps_budget,
         )
 
     results = map_parallel(job, circuits, max_workers)

@@ -10,6 +10,12 @@ the CLI target-string grammar (``line:8``, ``grid:3x3``, ``ring:12``,
 ``heavy_hex:3``, ``all_to_all:5``, ``*.json``).
 """
 
+from repro.target.cost import (
+    EspEstimate,
+    estimate_esp,
+    gate_error,
+    gate_success,
+)
 from repro.target.coupling import CouplingMap
 from repro.target.layout import (
     LAYOUT_METHODS,
@@ -35,6 +41,7 @@ from repro.target.target import DEFAULT_BASIS_GATES, Target, parse_target
 __all__ = [
     "CouplingMap",
     "DEFAULT_BASIS_GATES",
+    "EspEstimate",
     "LAYOUT_METHODS",
     "Layout",
     "RoutingMetrics",
@@ -42,7 +49,10 @@ __all__ = [
     "Target",
     "apply_layout",
     "dense_layout",
+    "estimate_esp",
     "fix_gate_directions",
+    "gate_error",
+    "gate_success",
     "naive_route",
     "on_coupling_edges",
     "parse_target",

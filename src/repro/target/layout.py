@@ -103,9 +103,16 @@ def dense_layout(circuit: Circuit, target: Target) -> Layout:
     interaction weight with already-placed ones — goes to the free
     physical qubit minimizing the distance-weighted sum to its placed
     partners.  Deterministic throughout.
+
+    On targets carrying a per-edge error table the tie-break order is
+    cost-aware: among equal-pull spots, low incident error beats high
+    degree, steering the interaction graph onto the device's
+    best-calibrated region.  Uncalibrated targets (where the incident
+    error is uniformly zero) order exactly as before.
     """
     _check_fits(circuit, target)
     cmap = target.coupling
+    error_first = bool(target.edge_errors)
     weight: dict[tuple[int, int], int] = defaultdict(int)
     activity: dict[int, int] = defaultdict(int)
     for g in circuit.gates:
@@ -126,10 +133,18 @@ def dense_layout(circuit: Circuit, target: Target) -> Layout:
         partners[a][b] = w
         partners[b][a] = w
 
+    def spot_rank(p: int) -> tuple:
+        # Cost-aware order puts calibration quality ahead of degree;
+        # with no per-edge table qubit_cost is constant and the order
+        # degrades to the original degree-first rule.
+        if error_first:
+            return (qubit_cost(p), -cmap.degree(p), p)
+        return (-cmap.degree(p), qubit_cost(p), p)
+
     placed: dict[int, int] = {}  # logical -> physical
     free = set(range(target.n_qubits))
     seed = max(activity, key=lambda q: (activity[q], -q))
-    best = min(free, key=lambda p: (-cmap.degree(p), qubit_cost(p), p))
+    best = min(free, key=spot_rank)
     placed[seed] = best
     free.discard(best)
     remaining = set(activity) - {seed}
@@ -148,10 +163,10 @@ def dense_layout(circuit: Circuit, target: Target) -> Layout:
         if anchors:
             def cost(p: int) -> tuple:
                 pull = sum(w * cmap.distance(p, a) for a, w in anchors)
-                return (pull, -cmap.degree(p), qubit_cost(p), p)
+                return (pull,) + spot_rank(p)
             spot = min(free, key=cost)
         else:
-            spot = min(free, key=lambda p: (-cmap.degree(p), qubit_cost(p), p))
+            spot = min(free, key=spot_rank)
         placed[nxt] = spot
         free.discard(spot)
         remaining.discard(nxt)

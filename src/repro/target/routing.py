@@ -82,6 +82,7 @@ def route_dag(
     layout: Layout | None = None,
     lookahead: int = DEFAULT_LOOKAHEAD,
     lookahead_weight: float = DEFAULT_LOOKAHEAD_WEIGHT,
+    cost_aware: bool | None = None,
 ) -> tuple[CircuitDAG, Layout, int]:
     """SABRE-style swap routing of ``dag`` onto ``target``.
 
@@ -89,8 +90,18 @@ def route_dag(
     DAG lives on ``target.n_qubits`` physical wires and every 2q gate
     lies on a coupling edge.  ``layout`` is the initial placement
     (trivial when omitted) and is not mutated.
+
+    ``cost_aware`` enables error-aware tie-breaking: among swap
+    candidates with equal lookahead-distance scores, the one on the
+    lowest-error coupling edge wins, so swap chains drift toward the
+    well-calibrated region of the device.  ``None`` (default) enables
+    it exactly when the target carries a per-edge error table — on
+    uncalibrated targets the tie-break is a no-op and routing is
+    byte-identical to the error-agnostic router.
     """
     cmap = target.coupling
+    if cost_aware is None:
+        cost_aware = bool(target.edge_errors)
     n_phys = target.n_qubits
     if dag.n_qubits > n_phys:
         raise ValueError(
@@ -169,6 +180,7 @@ def route_dag(
             edge = _best_swap(
                 cmap, lay, dag, blocked, pending,
                 lookahead, lookahead_weight, last_swap,
+                target if cost_aware else None,
             )
             emit_swap(*edge)
             last_swap = edge
@@ -194,8 +206,18 @@ def _best_swap(
     lookahead: int,
     lookahead_weight: float,
     last_swap: tuple[int, int] | None,
+    cost_target: Target | None = None,
 ) -> tuple[int, int]:
-    """The candidate SWAP minimizing the lookahead distance score."""
+    """The candidate SWAP minimizing the lookahead distance score.
+
+    With ``cost_target`` set, equal-score candidates are tie-broken
+    toward the lowest-error coupling edge (the router's cost-aware
+    mode).  Only the tie-break changes, but a different tie winner
+    still shifts the layout, so downstream swap choices — and the
+    total swap count — may diverge from the error-agnostic router on
+    calibrated targets; with no per-edge table the tie-break is a
+    constant and routing is byte-identical.
+    """
     front = [dag.node(i).gate.qubits for i in blocked]
     extended = _extended_set(dag, blocked, pending, lookahead)
     active = {lay.physical(q) for pair in front for q in pair}
@@ -229,6 +251,11 @@ def _best_swap(
             ) / len(extended)
         return total
 
+    if cost_target is not None:
+        return min(
+            candidates,
+            key=lambda e: (score(e), cost_target.edge_error(*e), e),
+        )
     return min(candidates, key=lambda e: (score(e), e))
 
 
@@ -261,16 +288,19 @@ def route_circuit(
     layout: str | Layout | None = "dense",
     lookahead: int = DEFAULT_LOOKAHEAD,
     lookahead_weight: float = DEFAULT_LOOKAHEAD_WEIGHT,
+    cost_aware: bool | None = None,
 ) -> RoutingResult:
     """Route a circuit onto ``target``: layout + SABRE swaps + metrics.
 
     ``layout`` picks the initial placement: ``"trivial"``, ``"dense"``
-    (default), or an explicit :class:`Layout`.
+    (default), or an explicit :class:`Layout`.  ``cost_aware`` controls
+    error-aware swap tie-breaking (see :func:`route_dag`).
     """
     initial = resolve_layout(layout, circuit, target)
     dag = CircuitDAG.from_circuit(circuit)
     routed_dag, final, swaps = route_dag(
-        dag, target, initial, lookahead, lookahead_weight
+        dag, target, initial, lookahead, lookahead_weight,
+        cost_aware=cost_aware,
     )
     routed = routed_dag.to_circuit()
     metrics = RoutingMetrics(

@@ -17,6 +17,7 @@ import os
 import re
 from dataclasses import dataclass, field
 
+from repro.circuits.circuit import canonical_gate_name
 from repro.target.coupling import CouplingMap
 
 #: The circuit-IR gate vocabulary a target may restrict.
@@ -33,20 +34,59 @@ class Target:
     name: str = ""
     basis_gates: tuple[str, ...] = DEFAULT_BASIS_GATES
     #: Per-gate depolarizing error rates (gate name -> rate), feeding
-    #: :meth:`repro.sim.NoiseModel.from_target`.
+    #: :meth:`repro.sim.NoiseModel.from_target` and the ESP cost model
+    #: (:func:`repro.target.cost.estimate_esp`).
     gate_errors: dict[str, float] = field(default_factory=dict)
-    #: Per-gate durations in arbitrary time units (for future schedulers).
+    #: Per-gate durations in schedule time units, consumed by the
+    #: ASAP/ALAP schedulers (:mod:`repro.schedule`); unlisted gates
+    #: fall back to arity-based defaults.
     gate_durations: dict[str, float] = field(default_factory=dict)
     #: Per-undirected-edge two-qubit error rates, used by the
     #: error-aware dense layout.  Keys are ``(min(a,b), max(a,b))``.
     edge_errors: dict[tuple[int, int], float] = field(default_factory=dict)
+    #: T1-style decoherence rate per schedule time unit while a qubit
+    #: idles: an idle period of duration ``d`` survives with
+    #: probability ``exp(-idle_error_rate * d)`` in the ESP model.
+    idle_error_rate: float = 0.0
+
+    def __post_init__(self):
+        # Calibration JSON written by vendors uses spellings like
+        # ``CX``/``Tdg``; canonicalize table keys once at construction
+        # (exactly as NoiseModel.rate_for canonicalizes lookups) so a
+        # circuit gate can never miss its calibration entry.
+        for table_name in ("gate_errors", "gate_durations"):
+            table = getattr(self, table_name)
+            if any(k != canonical_gate_name(k) for k in table):
+                object.__setattr__(
+                    self,
+                    table_name,
+                    {
+                        canonical_gate_name(k): float(v)
+                        for k, v in table.items()
+                    },
+                )
 
     @property
     def n_qubits(self) -> int:
         return self.coupling.n_qubits
 
     def edge_error(self, a: int, b: int) -> float:
+        """Calibrated per-edge 2q error on edge (a, b), 0 if unlisted.
+
+        Deliberately *no* fallback to the per-gate table: a swap/cz off
+        the edge table must keep its own ``gate_errors`` rate, not
+        inherit the ``cx`` one (the cost model and
+        :meth:`repro.sim.NoiseModel.from_target` both resolve
+        edge-then-name in that order).
+        """
         return self.edge_errors.get((min(a, b), max(a, b)), 0.0)
+
+    @property
+    def is_calibrated(self) -> bool:
+        """Whether any error calibration is attached at all."""
+        return bool(
+            self.gate_errors or self.edge_errors or self.idle_error_rate > 0
+        )
 
     # -- standard topologies -------------------------------------------------
     @classmethod
@@ -86,6 +126,7 @@ class Target:
             "edge_errors": [
                 [a, b, err] for (a, b), err in sorted(self.edge_errors.items())
             ],
+            "idle_error_rate": self.idle_error_rate,
         }
 
     @classmethod
@@ -115,6 +156,7 @@ class Target:
                 for k, v in data.get("gate_durations", {}).items()
             },
             edge_errors=edge_errors,
+            idle_error_rate=float(data.get("idle_error_rate", 0.0)),
         )
 
     def save(self, path: str) -> None:

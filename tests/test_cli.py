@@ -205,3 +205,79 @@ class TestOtherCommands:
         with pytest.raises(SystemExit) as exc:
             main(["not-a-command"])
         assert exc.value.code != 0
+
+
+class TestSchedule:
+    def test_schedule_plain(self, qasm_file, capsys):
+        rc = main(["schedule", str(qasm_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ASAP schedule" in out
+        assert "makespan" in out
+        assert "q0" in out and "q1" in out
+
+    def test_schedule_routed_with_esp_and_timeline(self, tmp_path, capsys):
+        import dataclasses
+
+        from repro.target import Target
+
+        target = dataclasses.replace(
+            Target.line(2),
+            gate_errors={"cx": 1e-2, "h": 1e-3},
+            gate_durations={"cx": 3.0},
+            idle_error_rate=1e-4,
+        )
+        tpath = tmp_path / "cal.json"
+        target.save(str(tpath))
+        qasm = tmp_path / "c.qasm"
+        qasm.write_text(_FIXTURE)
+        rc = main([
+            "schedule", str(qasm), "--target", str(tpath), "--route",
+            "--method", "alap", "--timeline", "--width", "24",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ALAP schedule" in out
+        assert "routed onto" in out
+        assert "ESP" in out
+        assert "one column" in out  # the rendered timeline axis
+
+    def test_compile_objective_esp_reports_prediction(
+        self, tmp_path, capsys
+    ):
+        import dataclasses
+
+        from repro.target import Target
+
+        target = dataclasses.replace(
+            Target.line(2),
+            gate_errors={"cx": 1e-2, "t": 1e-3, "h": 1e-4},
+            idle_error_rate=1e-5,
+        )
+        tpath = tmp_path / "cal.json"
+        target.save(str(tpath))
+        qasm = tmp_path / "c.qasm"
+        qasm.write_text(_FIXTURE)
+        rc = main([
+            "compile", str(qasm), "--workflow", "gridsynth",
+            "--eps", "0.05", "-O", "2", "--target", str(tpath),
+            "--objective", "esp",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert _field(out, "objective") == "esp"
+        esp = float(_field(out, "predicted ESP"))
+        assert 0.0 < esp < 1.0
+        assert float(_field(out, "schedule makespan")) > 0
+
+    def test_compile_eps_budget_reports_allocation(self, tmp_path, capsys):
+        qasm = tmp_path / "c.qasm"
+        qasm.write_text(_FIXTURE)
+        rc = main([
+            "compile", str(qasm), "--workflow", "gridsynth",
+            "-O", "2", "--eps-budget", "0.04",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "eps budget allocation" in out
+        assert float(_field(out, "synthesis error bound")) <= 0.04 + 1e-9

@@ -107,6 +107,7 @@ class TestMPSvsExhaustive:
 
 
 class TestWorkflowsVsIdealUnitary:
+    @pytest.mark.slow
     def test_both_flows_agree_with_ideal(self):
         from repro.experiments.workflows import (
             matched_thresholds,

@@ -228,6 +228,7 @@ class TestGuardsRaise:
                    table=get_table(2))
 
 
+@pytest.mark.slow
 class TestPostOptAcceptance:
     """DAG optimizer vs fold_phases on synthesized bench circuits."""
 

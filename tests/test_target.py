@@ -134,6 +134,51 @@ class TestTarget:
         with pytest.raises(ValueError):
             parse_target(spec)
 
+    @pytest.mark.parametrize(
+        "spec",
+        ["grid:3x", "grid:x3", "heavy_hex:2x", "line:-3", "ring:-1",
+         "grid:0x4", "all_to_all:0", "line:", ":4", "heavy_hex:one"],
+    )
+    def test_parse_target_malformed_and_negative(self, spec):
+        # Every malformed/negative spec must fail with the offending
+        # spec quoted, never an IndexError or a silent empty target.
+        with pytest.raises(ValueError) as exc:
+            parse_target(spec)
+        assert spec in str(exc.value) or "target" in str(exc.value)
+
+    def test_parse_target_missing_json(self, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        with pytest.raises(FileNotFoundError):
+            parse_target(missing)
+
+    def test_parse_target_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"edges": []}')
+        with pytest.raises(ValueError, match="missing field"):
+            parse_target(str(path))
+
+    def test_mixed_case_calibration_roundtrip(self, tmp_path):
+        # Regression: vendor-style spellings (CX, Tdg) in calibration
+        # JSON must land on the canonical keys circuit gates use.
+        t = Target.line(
+            3,
+            gate_errors={"CX": 1e-2, "Tdg": 1e-3, "H": 5e-4},
+            gate_durations={"CX": 300.0, "T": 40.0},
+            idle_error_rate=1e-5,
+        )
+        assert t.gate_errors == {"cx": 1e-2, "tdg": 1e-3, "h": 5e-4}
+        assert t.gate_durations == {"cx": 300.0, "t": 40.0}
+        path = tmp_path / "cal.json"
+        t.save(str(path))
+        back = Target.load(str(path))
+        assert back.gate_errors == t.gate_errors
+        assert back.gate_durations == t.gate_durations
+        assert back.idle_error_rate == pytest.approx(1e-5)
+        # The derived noise model sees the calibrated rate for IR gates.
+        nm = NoiseModel.from_target(back)
+        assert nm.rate_for(Circuit(1).tdg(0).gates[0]) == pytest.approx(1e-3)
+        assert nm.rate_for(Circuit(2).cx(0, 1).gates[0]) == pytest.approx(1e-2)
+
 
 class TestLayout:
     def test_trivial_and_swap(self):
@@ -181,6 +226,51 @@ class TestLayout:
         assert placed.n_qubits == 3
         assert placed.gates[0].qubits == (2,)
         assert placed.gates[1].qubits == (2, 0)
+
+    def test_layout_roundtrip_on_heavy_hex(self):
+        # apply_layout must be exactly the layout permutation: the
+        # placed circuit's state equals P(L) applied to the padded
+        # original state, and virtual/physical stay inverse bijections.
+        from repro.target import permute_statevector
+
+        t = Target.heavy_hex(2)
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2).t(2)
+        lay = dense_layout(c, t)
+        for v in range(len(lay)):
+            assert lay.virtual(lay.physical(v)) == v
+        placed = apply_layout(c, lay)
+        psi = c.statevector()
+        pad = np.zeros(2 ** (t.n_qubits - c.n_qubits), dtype=complex)
+        pad[0] = 1.0
+        expected = permute_statevector(np.kron(psi, pad), lay.as_list())
+        assert np.allclose(placed.statevector(), expected)
+
+    def test_layout_roundtrip_on_directed_coupling(self):
+        # Routing + direction fixing on a one-way line: the routed
+        # circuit must equal the original up to the final permutation.
+        from repro.target import (
+            CouplingMap,
+            fix_gate_directions,
+            route_circuit,
+            routed_statevector_equivalent,
+        )
+
+        cmap = CouplingMap(4, [(0, 1), (1, 2), (2, 3)], directed=True)
+        t = Target(cmap, name="directed_line:4")
+        c = Circuit(4).h(0).cx(1, 0).cx(0, 2).cx(3, 1)
+        routed = route_circuit(c, t, layout="dense")
+        assert routed_statevector_equivalent(c, routed)
+        fixed, n_fixes = fix_gate_directions(routed.circuit, t)
+        assert n_fixes >= 1  # cx(1, 0)-style reversals must be repaired
+        assert all(
+            cmap.allows(*g.qubits)
+            for g in fixed.gates
+            if g.name == "cx" and len(g.qubits) == 2
+        )
+        # H conjugation is exact: the state is unchanged.
+        assert np.allclose(
+            fixed.statevector(), routed.circuit.statevector()
+        )
 
     def test_resolve_layout_errors(self):
         c = Circuit(2).cx(0, 1)

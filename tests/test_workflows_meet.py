@@ -102,6 +102,7 @@ class TestWorkflowInternals:
         with pytest.raises(ValueError):
             synthesize_circuit_gridsynth(c, 0.01, pre_transpiled=True)
 
+    @pytest.mark.slow
     def test_synthesized_gates_in_time_order(self):
         # The spliced sequence must realize the rotation when the
         # circuit is *executed*, i.e. reversal from matrix order is
@@ -124,6 +125,7 @@ class TestWorkflowInternals:
         bound = tra.total_synthesis_error
         assert infid <= (2 * bound) ** 2 + 1e-9
 
+    @pytest.mark.slow
     def test_t_count_scales_with_eps(self):
         rng = np.random.default_rng(7)
         c = Circuit(1).rz(1.2345, 0)
