@@ -34,6 +34,7 @@ from repro.schedule import (
     Schedule,
     insert_idle_markers,
     schedule_circuit,
+    strip_idle_markers,
     with_idle_noise,
 )
 from repro.synthesis import GateSequence, allocate_eps_budget, synthesize, trasyn
@@ -82,6 +83,7 @@ __all__ = [
     "route_circuit",
     "rz",
     "schedule_circuit",
+    "strip_idle_markers",
     "synthesize",
     "trace_distance",
     "transpile",

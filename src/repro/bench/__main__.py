@@ -1,0 +1,81 @@
+"""``python -m repro.bench`` — run the standing perf harness."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.bench import AREAS, run_area
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "Time the compiler's hot paths and write schema-versioned "
+            "BENCH_<area>.json reports."
+        ),
+    )
+    parser.add_argument(
+        "--area",
+        choices=AREAS + ("all",),
+        default="all",
+        help="which benchmark area to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: small sizes, one unwarmed repeat",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="untimed warmup iterations (default: 1, quick: 0)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed repeats per benchmark (default: 5, quick: 1)",
+    )
+    parser.add_argument(
+        "--out-dir", default=".",
+        help="directory for BENCH_<area>.json (default: cwd)",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="run and print medians without writing report files",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    areas = AREAS if args.area == "all" else (args.area,)
+    out_dir = None if args.no_write else args.out_dir
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+    for area in areas:
+        print(f"[bench] area={area} quick={args.quick}")
+        report = run_area(
+            area,
+            quick=args.quick,
+            warmup=args.warmup,
+            repeats=args.repeats,
+            out_dir=out_dir,
+            progress=lambda msg: print(f"[bench]{msg}"),
+        )
+        for entry in report["benchmarks"]:
+            extra = entry["extra"]
+            note = f"  {extra}" if extra else ""
+            print(
+                f"[bench]   {entry['name']}: "
+                f"median {entry['median_s']:.4f}s "
+                f"(min {entry['min_s']:.4f}, max {entry['max_s']:.4f})"
+                f"{note}"
+            )
+        if out_dir is not None:
+            print(f"[bench] wrote {out_dir}/BENCH_{area}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""Timing discipline and report schema for the standing perf harness.
+
+Every benchmark is a :class:`BenchSpec`: a ``setup`` that builds the
+fixture (excluded from timing) and returns the zero-argument thunk to
+time.  :func:`run_specs` applies the warmup/repeat/median-and-spread
+discipline and :func:`write_report` emits the schema-versioned JSON the
+repo keeps at its root (``BENCH_routing.json`` etc.) so every PR can
+show its perf delta against the committed numbers.
+
+Report schema (``repro-bench/v1``)
+----------------------------------
+::
+
+    {
+      "schema": "repro-bench/v1",
+      "area": "routing",
+      "quick": false,
+      "warmup": 1,
+      "repeats": 5,
+      "benchmarks": [
+        {
+          "name": "route_dag/grid/100q",
+          "params": {"topology": "grid", "n_qubits": 100, ...},
+          "warmup": 1,
+          "repeats": 5,
+          "median_s": 0.123,
+          "mean_s": 0.125,
+          "min_s": 0.120,
+          "max_s": 0.131,
+          "stdev_s": 0.004,
+          "extra": {"swaps": 518}
+        }
+      ]
+    }
+
+``median_s`` is the headline number; ``min``/``max``/``stdev`` record
+the spread so noisy runs are visible.  ``extra`` holds benchmark-level
+facts (gate counts, derived speedups) that make the report
+self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+SCHEMA_VERSION = "repro-bench/v1"
+
+#: Fields every benchmark entry must carry (schema validation).
+_ENTRY_FIELDS = (
+    "name",
+    "params",
+    "warmup",
+    "repeats",
+    "median_s",
+    "mean_s",
+    "min_s",
+    "max_s",
+    "stdev_s",
+    "extra",
+)
+
+
+@dataclass
+class BenchSpec:
+    """One benchmark: named fixture + the thunk to time.
+
+    ``setup`` runs once, untimed, and returns the callable that is
+    timed ``warmup + repeats`` times.  The thunk may return a dict,
+    which is merged into the result's ``extra`` (last repeat wins) —
+    the cheap way to record output facts like swap counts.
+    """
+
+    name: str
+    params: dict[str, Any]
+    setup: Callable[[], Callable[[], Any]]
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BenchResult:
+    """Timing summary of one executed benchmark."""
+
+    name: str
+    params: dict[str, Any]
+    warmup: int
+    repeats: int
+    times_s: list[float]
+    extra: dict[str, Any]
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.times_s)
+
+    def as_dict(self) -> dict[str, Any]:
+        times = self.times_s
+        return {
+            "name": self.name,
+            "params": self.params,
+            "warmup": self.warmup,
+            "repeats": self.repeats,
+            "median_s": statistics.median(times),
+            "mean_s": statistics.fmean(times),
+            "min_s": min(times),
+            "max_s": max(times),
+            "stdev_s": statistics.stdev(times) if len(times) > 1 else 0.0,
+            "extra": self.extra,
+        }
+
+
+def run_spec(spec: BenchSpec, warmup: int, repeats: int) -> BenchResult:
+    """Time one spec: setup (untimed), ``warmup`` discards, ``repeats``."""
+    if repeats < 1:
+        raise ValueError("need at least one timed repeat")
+    fn = spec.setup()
+    extra = dict(spec.extra)
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        times.append(time.perf_counter() - t0)
+        if isinstance(out, dict):
+            extra.update(out)
+    return BenchResult(
+        name=spec.name,
+        params=spec.params,
+        warmup=warmup,
+        repeats=repeats,
+        times_s=times,
+        extra=extra,
+    )
+
+
+def run_specs(
+    specs: list[BenchSpec],
+    warmup: int,
+    repeats: int,
+    progress: Callable[[str], None] | None = None,
+) -> list[BenchResult]:
+    results = []
+    for spec in specs:
+        if progress is not None:
+            progress(f"  {spec.name} ...")
+        results.append(run_spec(spec, warmup, repeats))
+        if progress is not None:
+            progress(f"  {spec.name}: {results[-1].median_s:.4f}s median")
+    return results
+
+
+def report_dict(
+    area: str,
+    results: list[BenchResult],
+    quick: bool,
+    warmup: int,
+    repeats: int,
+) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "area": area,
+        "quick": bool(quick),
+        "warmup": warmup,
+        "repeats": repeats,
+        "benchmarks": [r.as_dict() for r in results],
+    }
+
+
+def write_report(path: str, report: dict[str, Any]) -> None:
+    """Atomically write a report (same idiom as the synthesis cache)."""
+    validate_report(report)
+    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    try:
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def validate_report(report: Any) -> None:
+    """Raise ``ValueError`` unless ``report`` matches ``repro-bench/v1``."""
+    if not isinstance(report, dict):
+        raise ValueError("report must be a JSON object")
+    if report.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unknown schema {report.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION!r})"
+        )
+    for key in ("area", "quick", "warmup", "repeats", "benchmarks"):
+        if key not in report:
+            raise ValueError(f"report missing {key!r}")
+    if not isinstance(report["benchmarks"], list) or not report["benchmarks"]:
+        raise ValueError("report carries no benchmarks")
+    for entry in report["benchmarks"]:
+        if not isinstance(entry, dict):
+            raise ValueError("benchmark entry must be an object")
+        for key in _ENTRY_FIELDS:
+            if key not in entry:
+                raise ValueError(
+                    f"benchmark {entry.get('name', '<unnamed>')!r} "
+                    f"missing {key!r}"
+                )
+        for key in ("median_s", "mean_s", "min_s", "max_s", "stdev_s"):
+            value = entry[key]
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"benchmark {entry['name']!r}: {key} must be a "
+                    "non-negative number"
+                )

@@ -1,0 +1,120 @@
+"""Routing benchmarks: SABRE swap insertion across topology and scale.
+
+Times :func:`repro.target.routing.route_dag` — routing proper — with
+the dependency DAG and the dense initial layout prebuilt in setup, so
+the numbers isolate the swap-search loop the vectorization work
+targets.  The grid benchmark at the largest size is also run with
+``scorer="reference"`` (the pre-vectorization per-candidate python
+closure) and the derived ``speedup_vs_reference`` lands in the vector
+entry's ``extra`` — the standing record of the hot-path win.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.harness import BenchResult, BenchSpec
+
+#: (label, target factory) per benchmark size; actual qubit counts for
+#: heavy_hex differ slightly from the nominal size (bridge qubits).
+_SIZES = (20, 50, 100, 200)
+_QUICK_SIZES = (20,)
+
+_GRID_DIMS = {20: (4, 5), 50: (5, 10), 100: (10, 10), 200: (10, 20)}
+_HEAVY_HEX_DIMS = {20: (2, 9), 50: (4, 11), 100: (6, 15), 200: (8, 23)}
+
+#: The size whose grid benchmark carries the reference-scorer baseline.
+_REFERENCE_SIZE = {False: 100, True: 20}
+
+
+def _random_circuit(n_qubits: int, n_gates: int, seed: int):
+    from repro.circuits.circuit import Circuit
+
+    rng = random.Random(seed)
+    c = Circuit(n_qubits)
+    for _ in range(n_gates):
+        if rng.random() < 0.5:
+            c.append(rng.choice(["h", "t", "s", "x"]), rng.randrange(n_qubits))
+        else:
+            a, b = rng.sample(range(n_qubits), 2)
+            c.append("cx", (a, b))
+    return c
+
+
+def _targets(size: int):
+    from repro.target.target import Target
+
+    yield "line", Target.line(size)
+    yield "grid", Target.grid(*_GRID_DIMS[size])
+    yield "heavy_hex", Target.heavy_hex(*_HEAVY_HEX_DIMS[size])
+
+
+def _route_spec(
+    topology: str, size: int, target, scorer: str
+) -> BenchSpec:
+    n = target.n_qubits
+    n_gates = 3 * n
+    suffix = "" if scorer == "vector" else f"/{scorer}-scorer"
+
+    def setup():
+        from repro.circuits.dag import CircuitDAG
+        from repro.target.layout import dense_layout
+        from repro.target.routing import route_dag
+
+        circuit = _random_circuit(n, n_gates, seed=7)
+        layout = dense_layout(circuit, target)
+        dag = CircuitDAG.from_circuit(circuit)
+
+        def run():
+            _, _, swaps = route_dag(
+                dag, target, layout=layout, scorer=scorer
+            )
+            return {"swaps": swaps}
+
+        return run
+
+    return BenchSpec(
+        name=f"route_dag/{topology}/{size}q{suffix}",
+        params={
+            "topology": topology,
+            "size": size,
+            "n_qubits": n,
+            "n_gates": n_gates,
+            "layout": "dense",
+            "scorer": scorer,
+            "seed": 7,
+        },
+        setup=setup,
+    )
+
+
+def specs(quick: bool) -> list[BenchSpec]:
+    sizes = _QUICK_SIZES if quick else _SIZES
+    out = []
+    for size in sizes:
+        for topology, target in _targets(size):
+            out.append(_route_spec(topology, size, target, "vector"))
+    ref_size = _REFERENCE_SIZE[quick]
+    from repro.target.target import Target
+
+    out.append(
+        _route_spec(
+            "grid", ref_size, Target.grid(*_GRID_DIMS[ref_size]),
+            "reference",
+        )
+    )
+    return out
+
+
+def finalize(results: list[BenchResult]) -> None:
+    """Derive the vector-vs-reference speedup from the paired entries."""
+    by_name = {r.name: r for r in results}
+    for size in _SIZES:
+        ref = by_name.get(f"route_dag/grid/{size}q/reference-scorer")
+        vec = by_name.get(f"route_dag/grid/{size}q")
+        if ref is None or vec is None:
+            continue
+        vec.extra["speedup_vs_reference"] = round(
+            ref.median_s / vec.median_s, 2
+        )
+        vec.extra["reference_median_s"] = ref.median_s

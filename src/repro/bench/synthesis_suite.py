@@ -1,0 +1,89 @@
+"""Synthesis benchmarks: gridsynth Rz approximation and trasyn lookup.
+
+gridsynth is timed at two precision points (a fast everyday epsilon and
+a tight one) on a fixed irrational-ish angle; trasyn is timed with the
+enumeration table prebuilt in setup, so the number isolates the
+MPS-sampling table *lookup* the paper's Synthesize step performs —
+table construction is a one-off cost amortized by the disk cache.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import BenchResult, BenchSpec
+
+_THETA = 0.5477  # fixed non-special angle
+
+_GRIDSYNTH_EPS = (1e-3, 1e-5)
+_QUICK_GRIDSYNTH_EPS = (1e-2,)
+
+_TRASYN_BUDGET = {False: 6, True: 3}
+_TRASYN_SAMPLES = {False: 500, True: 50}
+
+
+def _gridsynth_spec(eps: float) -> BenchSpec:
+    def setup():
+        from repro.synthesis.gridsynth import gridsynth_rz
+
+        def run():
+            seq = gridsynth_rz(_THETA, eps)
+            return {"t_count": seq.t_count}
+
+        return run
+
+    return BenchSpec(
+        name=f"gridsynth_rz/eps={eps:g}",
+        params={"theta": _THETA, "eps": eps},
+        setup=setup,
+    )
+
+
+def _trasyn_spec(budget: int, n_samples: int) -> BenchSpec:
+    def setup():
+        import numpy as np
+
+        from repro.enumeration import get_table
+        from repro.linalg import u3
+        from repro.synthesis.trasyn import synthesize
+
+        table = get_table(budget)  # prebuilt: the lookup is what we time
+        target = u3(0.3, 0.7, 1.1)
+
+        def run():
+            result = synthesize(
+                target,
+                t_budgets=[budget],
+                n_samples=n_samples,
+                rng=np.random.default_rng(17),
+                table=table,
+            )
+            return {"t_count": result.sequence.t_count}
+
+        return run
+
+    return BenchSpec(
+        name=f"trasyn/lookup/budget={budget}",
+        params={
+            "t_budget": budget,
+            "n_samples": n_samples,
+            "u3": [0.3, 0.7, 1.1],
+            "seed": 17,
+        },
+        setup=setup,
+    )
+
+
+def specs(quick: bool) -> list[BenchSpec]:
+    eps_points = _QUICK_GRIDSYNTH_EPS if quick else _GRIDSYNTH_EPS
+    out = [_gridsynth_spec(eps) for eps in eps_points]
+    out.append(
+        _trasyn_spec(_TRASYN_BUDGET[quick], _TRASYN_SAMPLES[quick])
+    )
+    return out
+
+
+def finalize(results: list[BenchResult]) -> None:
+    for r in results:
+        if r.name.startswith("gridsynth_rz/"):
+            r.extra.setdefault("theta_over_pi", round(_THETA / math.pi, 6))

@@ -1,12 +1,13 @@
 """Quantum circuit intermediate representation and resource metrics."""
 
-from repro.circuits.circuit import Circuit, Gate
+from repro.circuits.circuit import Circuit, Gate, is_idle_marker
 from repro.circuits.dag import CircuitDAG, DAGNode
 from repro.circuits.drawing import draw
 from repro.circuits.metrics import (
     clifford_count,
     critical_path,
     depth,
+    gate_counts,
     is_trivial_angle,
     rotation_count,
     t_count,
@@ -25,6 +26,8 @@ __all__ = [
     "depth",
     "draw",
     "from_qasm",
+    "gate_counts",
+    "is_idle_marker",
     "is_trivial_angle",
     "rotation_count",
     "t_count",

@@ -23,16 +23,25 @@ from __future__ import annotations
 import math
 from typing import Callable
 
-from repro.circuits.circuit import ROTATION_GATES, Circuit, Gate
+from collections import Counter
+
+from repro.circuits.circuit import (
+    ROTATION_GATES,
+    Circuit,
+    Gate,
+    is_idle_marker,
+)
 from repro.circuits.dag import CircuitDAG
 
 _T_NAMES = frozenset({"t", "tdg"})
 _CLIFFORD_NAMES = frozenset({"h", "s", "sdg"})
 _QUARTER = math.pi / 4.0
 
-#: Per-gate weights for the longest-path metric family.
+#: Per-gate weights for the longest-path metric family.  Idle markers
+#: (scheduler bookkeeping, not gates) weigh nothing everywhere, so a
+#: scheduled circuit's metrics match its unmarked original.
 _WEIGHTS: dict[str, Callable[[Gate], float]] = {
-    "depth": lambda g: 1.0,
+    "depth": lambda g: 0.0 if is_idle_marker(g) else 1.0,
     "t": lambda g: 1.0 if g.name in _T_NAMES else 0.0,
     "2q": lambda g: 1.0 if len(g.qubits) == 2 else 0.0,
 }
@@ -50,6 +59,20 @@ def _longest(circuit: Circuit | CircuitDAG, weight: str) -> int:
 
 def t_count(circuit: Circuit) -> int:
     return sum(1 for g in circuit.gates if g.name in _T_NAMES)
+
+
+def gate_counts(circuit: Circuit) -> dict[str, int]:
+    """Gate-name histogram, ignoring idle markers.
+
+    Idle markers (``Gate("i", (q,), (duration,))`` from
+    :func:`repro.schedule.insert_idle_markers`) are scheduler
+    bookkeeping: a scheduled circuit must report the same counts as
+    the circuit it was derived from.  Plain ``"i"`` identity gates
+    (no duration parameter) still count.
+    """
+    return dict(
+        Counter(g.name for g in circuit.gates if not is_idle_marker(g))
+    )
 
 
 def t_depth(circuit: Circuit | CircuitDAG) -> int:

@@ -10,6 +10,7 @@ schedule       ASAP/ALAP timed schedule, idle accounting, and predicted ESP.
 simulate       Noisy fidelity evaluation through a simulation backend.
 catalog        Print the Clifford+T enumeration summary for a T budget.
 estimate       Surface-code resource estimate for an OpenQASM file.
+bench          Run the standing perf harness (writes BENCH_<area>.json).
 """
 
 from __future__ import annotations
@@ -43,6 +44,21 @@ def _cmd_synth_u3(args: argparse.Namespace) -> int:
     print(f"Clifford : {seq.clifford_count}")
     print("gates    :", " ".join(seq.gates))
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    argv = ["--area", args.area, "--out-dir", args.out_dir]
+    if args.quick:
+        argv.append("--quick")
+    if args.no_write:
+        argv.append("--no-write")
+    if args.warmup is not None:
+        argv.extend(["--warmup", str(args.warmup)])
+    if args.repeats is not None:
+        argv.extend(["--repeats", str(args.repeats)])
+    return bench_main(argv)
 
 
 def _load_cache(path: str | None):
@@ -419,6 +435,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=float, default=1e-2,
                    help="logical error budget")
     p.set_defaults(func=_cmd_estimate)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the standing perf harness (writes BENCH_<area>.json)",
+    )
+    p.add_argument("--area", choices=("routing", "synthesis", "sim", "all"),
+                   default="all")
+    p.add_argument("--quick", action="store_true",
+                   help="smoke mode: small sizes, one unwarmed repeat")
+    p.add_argument("--warmup", type=int, default=None)
+    p.add_argument("--repeats", type=int, default=None)
+    p.add_argument("--out-dir", default=".",
+                   help="directory for BENCH_<area>.json (default: cwd)")
+    p.add_argument("--no-write", action="store_true",
+                   help="print medians without writing report files")
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

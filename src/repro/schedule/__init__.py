@@ -23,6 +23,7 @@ from repro.schedule.scheduler import (
     resolve_durations,
     schedule_circuit,
     schedule_dag,
+    strip_idle_markers,
     with_idle_noise,
 )
 
@@ -40,5 +41,6 @@ __all__ = [
     "resolve_durations",
     "schedule_circuit",
     "schedule_dag",
+    "strip_idle_markers",
     "with_idle_noise",
 ]

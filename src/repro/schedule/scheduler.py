@@ -361,6 +361,19 @@ def insert_idle_markers(
     return out
 
 
+def strip_idle_markers(circuit: Circuit) -> Circuit:
+    """Remove every idle marker, recovering a plain gate stream.
+
+    The inverse of :func:`insert_idle_markers` up to gate order within
+    a start-time tie: re-compiling a scheduled circuit must not treat
+    bookkeeping markers as gates, so pipelines strip them before
+    optimization and the metrics ignore them either way.
+    """
+    out = Circuit(circuit.n_qubits, name=circuit.name)
+    out.gates = [g for g in circuit.gates if not is_idle_marker(g)]
+    return out
+
+
 def with_idle_noise(
     circuit: Circuit,
     target,

@@ -49,6 +49,71 @@ def gate_schedule(
     return [[(n.id, n.gate) for n in layer] for layer in layers]
 
 
+class Fused1Q:
+    """A run of adjacent 1q gates on one wire, collapsed to a 2x2.
+
+    Quacks like a :class:`~repro.circuits.circuit.Gate` as far as the
+    engines care (``qubits``/``params``/``matrix()``); it never appears
+    in circuits, only in engine schedules.  Fused entries carry no
+    noise events, so they are scheduled with position ``-1`` and the
+    noise loop skips them.
+    """
+
+    __slots__ = ("name", "qubits", "params", "_matrix")
+
+    def __init__(self, qubit: int, matrix: np.ndarray):
+        self.name = "fused1q"
+        self.qubits = (qubit,)
+        self.params = ()
+        self._matrix = matrix
+
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+
+def fuse_1q_schedule(
+    schedule: list[list[tuple[int, Gate]]],
+    noise: NoiseModel | None,
+) -> list[list[tuple[int, Gate]]]:
+    """Fuse runs of consecutive noise-free 1q gates per wire.
+
+    Matrix products replace chains of 2x2 applications on the full
+    state batch — the dominant cost of deep Clifford+T streams, where
+    synthesis expands every rotation into long 1q runs.  A pending
+    product on a wire is flushed (emitted as a :class:`Fused1Q` with
+    position ``-1``) right before the next 2q or noisy gate touching
+    that wire, so gate order per wire and the (gate, uniform) noise
+    pairing are unchanged; deferred 1q products commute with the
+    other-wire gates and noise events that overtake them.
+    """
+    noisy = is_noisy(noise)
+    pending: dict[int, np.ndarray] = {}
+    out: list[list[tuple[int, Gate]]] = []
+    for layer in schedule:
+        out_layer: list[tuple[int, Gate]] = []
+        for pos, gate in layer:
+            if len(gate.qubits) == 1 and not (
+                noisy and noise.noisy_qubits(gate)
+            ):
+                q = gate.qubits[0]
+                acc = pending.get(q)
+                m = gate.matrix()
+                pending[q] = m if acc is None else m @ acc
+                continue
+            for q in gate.qubits:
+                acc = pending.pop(q, None)
+                if acc is not None:
+                    out_layer.append((-1, Fused1Q(q, acc)))
+            out_layer.append((pos, gate))
+        if out_layer:
+            out.append(out_layer)
+    if pending:
+        out.append(
+            [(-1, Fused1Q(q, pending[q])) for q in sorted(pending)]
+        )
+    return out
+
+
 def noise_event_offsets(
     circuit: Circuit, noise: NoiseModel | None
 ) -> list[int]:

@@ -38,6 +38,7 @@ from repro.sim.backends.base import (
     _ITEMSIZE,
     SimulationResult,
     SimulatorBackend,
+    fuse_1q_schedule,
     gate_schedule,
     is_noisy,
     noise_event_offsets,
@@ -212,6 +213,7 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
         chunk_size: int = 64,
         max_workers: int | None = None,
         layered: bool = True,
+        fuse: bool = True,
     ):
         if trajectories < 1:
             raise ValueError("need at least one trajectory")
@@ -225,6 +227,9 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
         # stay keyed by flat gate position, so results match the
         # sequential stream for any chunking or worker count.
         self.layered = bool(layered)
+        # Fuse runs of noise-free 1q gates per wire into single 2x2
+        # products before driving the state batch (fuse_1q_schedule).
+        self.fuse = bool(fuse)
 
     def supports(self, n_qubits: int, noisy: bool) -> bool:
         return n_qubits <= self.max_qubits
@@ -265,6 +270,8 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
                 states = _apply_gate_batch(states, gate)
             if channels is not None:
                 for pos, gate in layer:
+                    if pos < 0:
+                        continue  # fused 1q run: carries no noise events
                     qubits = noise.noisy_qubits(gate)
                     if not qubits:
                         continue
@@ -288,6 +295,8 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
         # The schedule and event offsets are computed once per run and
         # shared by every chunk/worker.
         schedule = gate_schedule(circuit, self.layered)
+        if self.fuse:
+            schedule = fuse_1q_schedule(schedule, noise)
         event_offsets = noise_event_offsets(circuit, noise)
         n_events = _count_noise_events(circuit, noise)
         if n_events == 0:

@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Sequence
 
+import numpy as np
+
 Edge = tuple[int, int]
 
 
@@ -61,7 +63,10 @@ class CouplingMap:
             neighbors[a].add(b)
             neighbors[b].add(a)
         self._neighbors = tuple(tuple(sorted(s)) for s in neighbors)
-        self._dist: list[list[int]] | None = None
+        self._dist: np.ndarray | None = None
+        self._edges_np: np.ndarray | None = None
+        self._incident: tuple[np.ndarray, ...] | None = None
+        self._incident_pad: np.ndarray | None = None
 
     # -- queries ------------------------------------------------------------
     def neighbors(self, q: int) -> tuple[int, ...]:
@@ -80,29 +85,90 @@ class CouplingMap:
         return (a, b) in self._directed_edges
 
     @property
-    def distance_matrix(self) -> list[list[int]]:
-        """All-pairs shortest-path lengths (BFS; -1 if disconnected)."""
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path lengths (-1 if disconnected).
+
+        Cached ``(n_qubits, n_qubits)`` int64 array, computed by a
+        level-synchronous BFS over the boolean adjacency matrix — one
+        matrix-vector sweep per BFS level instead of a python queue per
+        source, so the routing/layout stages can gather whole batches of
+        distances in single numpy indexing operations.
+        """
         if self._dist is None:
-            self._dist = [self._bfs(s) for s in range(self.n_qubits)]
+            n = self.n_qubits
+            adj = np.zeros((n, n), dtype=bool)
+            for a, b in self.edges:
+                adj[a, b] = adj[b, a] = True
+            dist = np.full((n, n), -1, dtype=np.int64)
+            np.fill_diagonal(dist, 0)
+            frontier = np.eye(n, dtype=bool)
+            reached = frontier.copy()
+            level = 0
+            while frontier.any():
+                level += 1
+                frontier = (frontier @ adj) & ~reached
+                dist[frontier] = level
+                reached |= frontier
+            dist.setflags(write=False)
+            self._dist = dist
         return self._dist
 
-    def _bfs(self, source: int) -> list[int]:
-        dist = [-1] * self.n_qubits
-        dist[source] = 0
-        queue = deque([source])
-        while queue:
-            u = queue.popleft()
-            for v in self._neighbors[u]:
-                if dist[v] < 0:
-                    dist[v] = dist[u] + 1
-                    queue.append(v)
-        return dist
-
     def distance(self, a: int, b: int) -> int:
-        d = self.distance_matrix[a][b]
+        d = int(self.distance_matrix[a, b])
         if d < 0:
             raise ValueError(f"qubits {a} and {b} are disconnected")
         return d
+
+    @property
+    def edges_array(self) -> np.ndarray:
+        """``self.edges`` as a read-only ``(n_edges, 2)`` int array."""
+        if self._edges_np is None:
+            arr = np.asarray(self.edges, dtype=np.intp).reshape(-1, 2)
+            arr.setflags(write=False)
+            self._edges_np = arr
+        return self._edges_np
+
+    def incident_edges(self, q: int) -> np.ndarray:
+        """Indices into :attr:`edges_array` of the edges touching ``q``.
+
+        Ascending edge index, so gathering and uniquing incident-edge
+        ids over a set of qubits reproduces the lexicographic edge
+        order of ``sorted(set(...))`` — the contract the routing
+        candidate enumeration relies on.
+        """
+        if self._incident is None:
+            by_qubit: list[list[int]] = [[] for _ in range(self.n_qubits)]
+            for e, (a, b) in enumerate(self.edges):
+                by_qubit[a].append(e)
+                by_qubit[b].append(e)
+            self._incident = tuple(
+                np.asarray(ids, dtype=np.intp) for ids in by_qubit
+            )
+        return self._incident[q]
+
+    @property
+    def incident_matrix(self) -> np.ndarray:
+        """Incident-edge ids padded to a dense ``(n_qubits, max_deg)``.
+
+        Row ``q`` holds the ascending edge ids touching ``q``, padded
+        with the sentinel ``len(self.edges)`` so a single fancy gather
+        enumerates the incident edges of a whole qubit batch; callers
+        drop the sentinel slot afterwards.
+        """
+        if self._incident_pad is None:
+            sentinel = len(self.edges)
+            width = max(
+                (self.degree(q) for q in range(self.n_qubits)), default=0
+            )
+            pad = np.full(
+                (self.n_qubits, max(width, 1)), sentinel, dtype=np.intp
+            )
+            for q in range(self.n_qubits):
+                ids = self.incident_edges(q)
+                pad[q, : ids.size] = ids
+            pad.setflags(write=False)
+            self._incident_pad = pad
+        return self._incident_pad
 
     def shortest_path(self, a: int, b: int) -> list[int]:
         """One shortest path from ``a`` to ``b`` (inclusive), by BFS.
@@ -127,12 +193,12 @@ class CouplingMap:
         raise ValueError(f"qubits {a} and {b} are disconnected")
 
     def is_connected(self) -> bool:
-        return all(d >= 0 for d in self.distance_matrix[0])
+        return bool((self.distance_matrix[0] >= 0).all())
 
     def diameter(self) -> int:
         if not self.is_connected():
             raise ValueError("coupling map is disconnected")
-        return max(max(row) for row in self.distance_matrix)
+        return int(self.distance_matrix.max())
 
     # -- standard topologies -------------------------------------------------
     @classmethod

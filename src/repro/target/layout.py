@@ -20,6 +20,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Mapping
 
+import numpy as np
+
 from repro.circuits.circuit import Circuit
 from repro.target.target import Target
 
@@ -35,6 +37,10 @@ class Layout:
         self._p2l = [0] * len(l2p)
         for v, p in enumerate(l2p):
             self._p2l[p] = v
+        # numpy mirror of _l2p, kept in sync by swap_physical, so the
+        # vectorized swap scorer can gather through it without
+        # rebuilding an array on every call.
+        self._l2p_arr = np.asarray(l2p, dtype=np.intp)
 
     @classmethod
     def trivial(cls, n: int) -> "Layout":
@@ -71,6 +77,8 @@ class Layout:
         a, b = self._p2l[p], self._p2l[q]
         self._p2l[p], self._p2l[q] = b, a
         self._l2p[a], self._l2p[b] = q, p
+        self._l2p_arr[a] = q
+        self._l2p_arr[b] = p
 
     def copy(self) -> "Layout":
         return Layout(self._l2p)
@@ -124,9 +132,17 @@ def dense_layout(circuit: Circuit, target: Target) -> Layout:
     if not weight:
         return Layout.trivial(target.n_qubits)
 
-    def qubit_cost(p: int) -> float:
-        errs = [target.edge_error(p, q) for q in cmap.neighbors(p)]
-        return sum(errs) / len(errs) if errs else 0.0
+    # Per-qubit calibration cost, computed once: the greedy loop below
+    # consults it O(n^2) times and the mean is loop-invariant.
+    qcost = [
+        (
+            sum(target.edge_error(p, q) for q in cmap.neighbors(p))
+            / cmap.degree(p)
+            if cmap.degree(p)
+            else 0.0
+        )
+        for p in range(target.n_qubits)
+    ]
 
     partners: dict[int, dict[int, int]] = defaultdict(dict)
     for (a, b), w in weight.items():
@@ -138,9 +154,10 @@ def dense_layout(circuit: Circuit, target: Target) -> Layout:
         # with no per-edge table qubit_cost is constant and the order
         # degrades to the original degree-first rule.
         if error_first:
-            return (qubit_cost(p), -cmap.degree(p), p)
-        return (-cmap.degree(p), qubit_cost(p), p)
+            return (qcost[p], -cmap.degree(p), p)
+        return (-cmap.degree(p), qcost[p], p)
 
+    dist = cmap.distance_matrix
     placed: dict[int, int] = {}  # logical -> physical
     free = set(range(target.n_qubits))
     seed = max(activity, key=lambda q: (activity[q], -q))
@@ -161,10 +178,15 @@ def dense_layout(circuit: Circuit, target: Target) -> Layout:
             (placed[o], w) for o, w in partners[nxt].items() if o in placed
         ]
         if anchors:
-            def cost(p: int) -> tuple:
-                pull = sum(w * cmap.distance(p, a) for a, w in anchors)
-                return (pull,) + spot_rank(p)
-            spot = min(free, key=cost)
+            # One integer gather+matvec scores every free spot at once;
+            # spot_rank only tie-breaks the (usually few) minima, so the
+            # pick is identical to the scalar min over (pull, rank).
+            free_arr = np.fromiter(free, dtype=np.intp, count=len(free))
+            a_idx = np.asarray([a for a, _ in anchors], dtype=np.intp)
+            w_arr = np.asarray([w for _, w in anchors], dtype=np.int64)
+            pull = dist[np.ix_(free_arr, a_idx)] @ w_arr
+            tied = free_arr[pull == pull.min()]
+            spot = int(min(tied, key=spot_rank))
         else:
             spot = min(free, key=spot_rank)
         placed[nxt] = spot

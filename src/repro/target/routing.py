@@ -83,6 +83,7 @@ def route_dag(
     lookahead: int = DEFAULT_LOOKAHEAD,
     lookahead_weight: float = DEFAULT_LOOKAHEAD_WEIGHT,
     cost_aware: bool | None = None,
+    scorer: str = "vector",
 ) -> tuple[CircuitDAG, Layout, int]:
     """SABRE-style swap routing of ``dag`` onto ``target``.
 
@@ -98,7 +99,18 @@ def route_dag(
     it exactly when the target carries a per-edge error table — on
     uncalibrated targets the tie-break is a no-op and routing is
     byte-identical to the error-agnostic router.
+
+    ``scorer`` selects the candidate-swap scoring implementation:
+    ``"vector"`` (default) batches every candidate's lookahead score
+    into one numpy gather over the coupling map's distance matrix;
+    ``"reference"`` is the original per-candidate python closure, kept
+    for property testing and as the perf-harness baseline.  Both pick
+    byte-identical swaps.
     """
+    if scorer not in ("vector", "reference"):
+        raise ValueError(
+            f"unknown scorer {scorer!r} (expected 'vector' or 'reference')"
+        )
     cmap = target.coupling
     if cost_aware is None:
         cost_aware = bool(target.edge_errors)
@@ -111,24 +123,36 @@ def route_dag(
         raise ValueError("cannot route on a disconnected coupling map")
     lay = Layout.trivial(n_phys) if layout is None else layout.copy()
     out = CircuitDAG(n_phys, dag.name)
+    # Scalar fast paths for the per-gate loop: a live alias of the
+    # layout list (swap_physical mutates it in place) and the distance
+    # matrix as nested python lists — scalar list indexing beats ndarray
+    # item access for the one-pair adjacency checks done per gate.
+    l2p = lay._l2p
+    dist_list = cmap.distance_matrix.tolist()
 
     pending = {
         n.id: len({p for p in n.preds.values() if p != BOUNDARY})
         for n in dag.nodes()
+    }
+    # The input DAG never changes while routing, so resolve each node's
+    # successor ids once up front instead of re-deriving them on every
+    # completion and every lookahead expansion.
+    succ_map = {
+        n.id: [s.id for s in dag.successors(n.id)] for n in dag.nodes()
     }
     ready = [i for i, deg in pending.items() if deg == 0]
     heapq.heapify(ready)
     blocked: list[int] = []  # ready 2q gates not on an edge (id order)
 
     def complete(node_id: int) -> None:
-        for succ in dag.successors(node_id):
-            pending[succ.id] -= 1
-            if pending[succ.id] == 0:
-                heapq.heappush(ready, succ.id)
+        for sid in succ_map[node_id]:
+            pending[sid] -= 1
+            if pending[sid] == 0:
+                heapq.heappush(ready, sid)
 
     def emit_mapped(gate: Gate) -> None:
         out.add_gate(
-            Gate(gate.name, tuple(lay.physical(q) for q in gate.qubits),
+            Gate(gate.name, tuple(l2p[q] for q in gate.qubits),
                  gate.params)
         )
 
@@ -139,8 +163,28 @@ def route_dag(
     swaps = 0
     stall = 0
     last_swap: tuple[int, int] | None = None
+    # Front/extended qubit pairs depend only on the blocked id set, which
+    # is unchanged across consecutive swap attempts; cache them so the
+    # per-swap work is just scoring, not re-deriving the lookahead set.
+    cache_key: tuple[int, ...] | None = None
+    cache_front = []  # pair list (reference) or (F, 2) array (vector)
+    cache_extended = []  # likewise, (E, 2) for the vector scorer
+    best_swap = _best_swap if scorer == "vector" else _best_swap_reference
     # Hard ceiling: any run needing more swaps than this is a router bug.
     max_swaps = 4 * (len(dag) + 1) * max(1, cmap.diameter()) + 4 * n_phys
+
+    def force_route() -> None:
+        # Force-route the oldest blocked gate along a shortest path so
+        # termination never hinges on the heuristic.
+        nonlocal swaps, stall
+        node = dag.node(blocked[0])
+        a, b = node.gate.qubits
+        path = cmap.shortest_path(lay.physical(a), lay.physical(b))
+        for k in range(len(path) - 2):
+            emit_swap(path[k], path[k + 1])
+            swaps += 1
+        stall = 0
+
     while ready or blocked:
         progressed = False
         while ready:
@@ -152,7 +196,7 @@ def route_dag(
                 progressed = True
                 continue
             a, b = node.gate.qubits
-            if cmap.distance(lay.physical(a), lay.physical(b)) == 1:
+            if dist_list[l2p[a]][l2p[b]] == 1:
                 emit_mapped(node.gate)
                 complete(i)
                 progressed = True
@@ -166,26 +210,39 @@ def route_dag(
         if not blocked:
             break
         blocked.sort()
+        key = tuple(blocked)
+        if key != cache_key:
+            cache_key = key
+            cache_front = [dag.node(i).gate.qubits for i in blocked]
+            cache_extended = _extended_set(
+                dag, blocked, pending, lookahead, succ_map
+            )
+            if scorer == "vector":
+                # The vector scorer gathers through arrays; build them
+                # once per blocked set instead of once per swap.
+                cache_front = np.asarray(cache_front, dtype=np.intp)
+                cache_extended = np.asarray(
+                    cache_extended, dtype=np.intp
+                ).reshape(-1, 2)
         if stall > 2 * n_phys:
-            # Stall guard: force-route the oldest blocked gate along a
-            # shortest path so termination never hinges on the heuristic.
-            node = dag.node(blocked[0])
-            a, b = node.gate.qubits
-            path = cmap.shortest_path(lay.physical(a), lay.physical(b))
-            for k in range(len(path) - 2):
-                emit_swap(path[k], path[k + 1])
-                swaps += 1
-            stall = 0
+            force_route()
         else:
-            edge = _best_swap(
-                cmap, lay, dag, blocked, pending,
-                lookahead, lookahead_weight, last_swap,
+            edge = best_swap(
+                cmap, lay, cache_front, cache_extended,
+                lookahead_weight, last_swap,
                 target if cost_aware else None,
             )
-            emit_swap(*edge)
-            last_swap = edge
-            swaps += 1
-            stall += 1
+            if edge is None:
+                # Oscillation guard: the only candidate would undo the
+                # previous swap (a degree-1 corridor); skip straight to
+                # the shortest-path fallback instead of ping-ponging
+                # until the stall counter trips.
+                force_route()
+            else:
+                emit_swap(*edge)
+                last_swap = edge
+                swaps += 1
+                stall += 1
         if swaps > max_swaps:
             raise RuntimeError(
                 "router exceeded its swap budget (internal error)"
@@ -197,18 +254,51 @@ def route_dag(
     return out, lay, swaps
 
 
+def _swap_candidates(
+    cmap,
+    lay: Layout,
+    front: list[tuple[int, int]],
+    last_swap: tuple[int, int] | None,
+) -> list[tuple[int, int]] | None:
+    """Candidate swap edges adjacent to the front layer, sorted.
+
+    ``last_swap`` is excluded so the router never immediately undoes
+    itself.  Returns ``None`` when the *only* candidate is
+    ``last_swap`` (a degree-1 corridor): picking it would oscillate, so
+    the caller must fall back to shortest-path force-routing instead.
+    """
+    active = {lay.physical(q) for pair in front for q in pair}
+    candidates = sorted(
+        {
+            (min(p, q), max(p, q))
+            for p in active
+            for q in cmap.neighbors(p)
+        }
+    )
+    if last_swap in candidates:
+        if len(candidates) == 1:
+            return None
+        candidates.remove(last_swap)
+    return candidates
+
+
 def _best_swap(
     cmap,
     lay: Layout,
-    dag: CircuitDAG,
-    blocked: list[int],
-    pending: dict[int, int],
-    lookahead: int,
+    front: list[tuple[int, int]],
+    extended: list[tuple[int, int]],
     lookahead_weight: float,
     last_swap: tuple[int, int] | None,
     cost_target: Target | None = None,
-) -> tuple[int, int]:
+) -> tuple[int, int] | None:
     """The candidate SWAP minimizing the lookahead distance score.
+
+    Vectorized scorer: every candidate's front and extended-set
+    distances come from one numpy gather over the coupling map's cached
+    distance matrix, replacing the per-candidate python closure of
+    :func:`_best_swap_reference`.  Distance sums are exact integers and
+    the float combination mirrors the reference expression term for
+    term, so the chosen edge is byte-identical (property-tested).
 
     With ``cost_target`` set, equal-score candidates are tie-broken
     toward the lowest-error coupling edge (the router's cost-aware
@@ -218,18 +308,99 @@ def _best_swap(
     calibrated targets; with no per-edge table the tie-break is a
     constant and routing is byte-identical.
     """
-    front = [dag.node(i).gate.qubits for i in blocked]
-    extended = _extended_set(dag, blocked, pending, lookahead)
-    active = {lay.physical(q) for pair in front for q in pair}
-    candidates = sorted(
-        {
-            (min(p, q), max(p, q))
-            for p in active
-            for q in cmap.neighbors(p)
-        }
-    )
-    if last_swap in candidates and len(candidates) > 1:
-        candidates.remove(last_swap)  # don't immediately undo ourselves
+    dist = cmap.distance_matrix
+    # Layout keeps this numpy mirror in sync with every swap, so no
+    # per-call list->array conversion is needed.
+    l2p = lay._l2p_arr
+    front_phys = l2p[np.asarray(front, dtype=np.intp)]
+    # Candidate edges: everything incident to an active (front) qubit,
+    # enumerated by one padded gather + membership mask.  flatnonzero
+    # yields ascending edge ids and cmap.edges is lexicographically
+    # sorted, so this reproduces sorted(set(...)) exactly.
+    edges = cmap.edges_array
+    touched = cmap.incident_matrix[front_phys.ravel()]
+    mask = np.zeros(edges.shape[0] + 1, dtype=bool)
+    mask[touched.ravel()] = True
+    mask[-1] = False  # padding sentinel
+    cand = edges[np.flatnonzero(mask)]
+    if last_swap is not None:
+        keep = ~((cand[:, 0] == last_swap[0]) & (cand[:, 1] == last_swap[1]))
+        if not keep.all():
+            if cand.shape[0] == 1:
+                return None  # sole candidate undoes the previous swap
+            cand = cand[keep]
+    cp = cand[:, 0]
+    cq = cand[:, 1]
+
+    # Front pairs are wire-disjoint (two ready gates never share a
+    # qubit), so each physical qubit sits in at most one front pair and
+    # a candidate swap (p, q) shifts the integer front-distance sum by
+    # an O(1) delta: re-gather only the pairs containing p or q.  The
+    # sums stay exact integers, so dividing them reproduces the
+    # reference scorer's floats bit for bit.
+    fa = front_phys[:, 0]
+    fb = front_phys[:, 1]
+    n = dist.shape[0]
+    opp = np.full(n, -1, dtype=np.intp)
+    opp[fa] = fb
+    opp[fb] = fa
+    op_p = opp[cp]
+    op_q = opp[cq]
+    # A -1 sentinel indexes the last column harmlessly; np.where drops it.
+    delta = np.where(
+        op_p >= 0, dist[cq, op_p] - dist[cp, op_p], 0
+    ) + np.where(op_q >= 0, dist[cp, op_q] - dist[cq, op_q], 0)
+    # A front pair lying exactly on the candidate edge keeps its
+    # distance under the swap, but the two endpoint terms above each
+    # subtracted it; add both back.  (The router never scores such a
+    # pair — an on-edge gate executes instead of blocking — but the
+    # scorer stays correct for arbitrary inputs.)
+    delta = delta + np.where(op_p == cq, 2 * dist[cp, cq], 0)
+    front_sums = int(dist[fa, fb].sum()) + delta
+    scores = front_sums / len(front)
+    if len(extended):
+        # Extended pairs may repeat qubits, so map them densely; the
+        # (C, E) block is small (E is capped by the lookahead depth).
+        ext_phys = l2p[np.asarray(extended, dtype=np.intp)]
+        a = ext_phys[:, 0][None, :]
+        b = ext_phys[:, 1][None, :]
+        p = cp[:, None]
+        q = cq[:, None]
+        ma = np.where(a == p, q, np.where(a == q, p, a))
+        mb = np.where(b == p, q, np.where(b == q, p, b))
+        ext_sums = dist[ma, mb].sum(axis=1)
+        scores = scores + (lookahead_weight * ext_sums) / len(extended)
+    best = np.flatnonzero(scores == scores.min())
+    if cost_target is not None and best.size > 1:
+        errs = np.asarray(
+            [
+                cost_target.edge_error(int(cand[i, 0]), int(cand[i, 1]))
+                for i in best
+            ]
+        )
+        best = best[errs == errs.min()]
+    winner = cand[int(best[0])]
+    return (int(winner[0]), int(winner[1]))
+
+
+def _best_swap_reference(
+    cmap,
+    lay: Layout,
+    front: list[tuple[int, int]],
+    extended: list[tuple[int, int]],
+    lookahead_weight: float,
+    last_swap: tuple[int, int] | None,
+    cost_target: Target | None = None,
+) -> tuple[int, int] | None:
+    """The original closure-based scorer (see :func:`_best_swap`).
+
+    Kept as the byte-for-byte baseline: the property suite asserts the
+    vectorized scorer picks identical edges, and the perf harness times
+    it as the pre-vectorization comparison point.
+    """
+    candidates = _swap_candidates(cmap, lay, front, last_swap)
+    if candidates is None:
+        return None
 
     def score(edge: tuple[int, int]) -> float:
         p, q = edge
@@ -264,19 +435,31 @@ def _extended_set(
     blocked: list[int],
     pending: dict[int, int],
     lookahead: int,
+    succ_map: dict[int, list[int]] | None = None,
 ) -> list[tuple[int, int]]:
-    """Qubit pairs of the next ``lookahead`` 2q gates past the front."""
+    """Qubit pairs of the next ``lookahead`` 2q gates past the front.
+
+    ``succ_map`` optionally supplies precomputed successor-id lists
+    (the routing loop builds one; standalone callers may omit it).
+    """
     out: list[tuple[int, int]] = []
     seen = set(blocked)
     queue = deque(blocked)
     while queue and len(out) < lookahead:
-        for succ in dag.successors(queue.popleft()):
-            if succ.id in seen or pending.get(succ.id) is None:
+        nid = queue.popleft()
+        succ_ids = (
+            succ_map[nid]
+            if succ_map is not None
+            else [s.id for s in dag.successors(nid)]
+        )
+        for sid in succ_ids:
+            if sid in seen or pending.get(sid) is None:
                 continue
-            seen.add(succ.id)
-            queue.append(succ.id)
-            if len(succ.gate.qubits) == 2:
-                out.append(succ.gate.qubits)
+            seen.add(sid)
+            queue.append(sid)
+            qubits = dag.node(sid).gate.qubits
+            if len(qubits) == 2:
+                out.append(qubits)
                 if len(out) >= lookahead:
                     break
     return out
@@ -289,18 +472,20 @@ def route_circuit(
     lookahead: int = DEFAULT_LOOKAHEAD,
     lookahead_weight: float = DEFAULT_LOOKAHEAD_WEIGHT,
     cost_aware: bool | None = None,
+    scorer: str = "vector",
 ) -> RoutingResult:
     """Route a circuit onto ``target``: layout + SABRE swaps + metrics.
 
     ``layout`` picks the initial placement: ``"trivial"``, ``"dense"``
     (default), or an explicit :class:`Layout`.  ``cost_aware`` controls
-    error-aware swap tie-breaking (see :func:`route_dag`).
+    error-aware swap tie-breaking and ``scorer`` the swap-scoring
+    implementation (see :func:`route_dag`).
     """
     initial = resolve_layout(layout, circuit, target)
     dag = CircuitDAG.from_circuit(circuit)
     routed_dag, final, swaps = route_dag(
         dag, target, initial, lookahead, lookahead_weight,
-        cost_aware=cost_aware,
+        cost_aware=cost_aware, scorer=scorer,
     )
     routed = routed_dag.to_circuit()
     metrics = RoutingMetrics(

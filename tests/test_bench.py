@@ -1,0 +1,149 @@
+"""The standing perf harness: timing discipline, schema, CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    AREAS,
+    SCHEMA_VERSION,
+    BenchSpec,
+    report_dict,
+    run_area,
+    run_spec,
+    run_specs,
+    validate_report,
+    write_report,
+)
+
+
+def _counting_spec(name="demo", extra=None):
+    calls = []
+
+    def setup():
+        def run():
+            calls.append(1)
+            return {"calls": len(calls)}
+
+        return run
+
+    return BenchSpec(
+        name=name, params={"k": 1}, setup=setup, extra=extra or {}
+    ), calls
+
+
+class TestHarness:
+    def test_warmup_and_repeats_discipline(self):
+        spec, calls = _counting_spec()
+        result = run_spec(spec, warmup=2, repeats=3)
+        assert len(calls) == 5  # 2 warmup + 3 timed
+        assert len(result.times_s) == 3
+        assert result.extra["calls"] == 5  # last repeat's dict wins
+
+    def test_median_and_spread_fields(self):
+        spec, _ = _counting_spec()
+        entry = run_spec(spec, warmup=0, repeats=5).as_dict()
+        assert entry["min_s"] <= entry["median_s"] <= entry["max_s"]
+        assert entry["stdev_s"] >= 0.0
+        assert entry["repeats"] == 5
+
+    def test_repeats_must_be_positive(self):
+        spec, _ = _counting_spec()
+        with pytest.raises(ValueError):
+            run_spec(spec, warmup=0, repeats=0)
+
+    def test_report_schema_roundtrip(self, tmp_path):
+        spec, _ = _counting_spec()
+        results = run_specs([spec], warmup=0, repeats=1)
+        report = report_dict("routing", results, True, 0, 1)
+        assert report["schema"] == SCHEMA_VERSION
+        path = tmp_path / "BENCH_routing.json"
+        write_report(str(path), report)
+        on_disk = json.loads(path.read_text())
+        validate_report(on_disk)
+        assert on_disk["benchmarks"][0]["name"] == "demo"
+        # Atomic write leaves no tmp litter behind.
+        assert [p.name for p in tmp_path.iterdir()] == [
+            "BENCH_routing.json"
+        ]
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            lambda r: r.pop("schema"),
+            lambda r: r.update(schema="repro-bench/v0"),
+            lambda r: r.pop("benchmarks"),
+            lambda r: r.update(benchmarks=[]),
+            lambda r: r["benchmarks"][0].pop("median_s"),
+            lambda r: r["benchmarks"][0].update(median_s=-1.0),
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutation):
+        spec, _ = _counting_spec()
+        report = report_dict(
+            "sim", run_specs([spec], 0, 1), False, 0, 1
+        )
+        mutation(report)
+        with pytest.raises(ValueError):
+            validate_report(report)
+
+    def test_unknown_area_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench area"):
+            run_area("networking")
+
+
+class TestQuickSuites:
+    """--quick mode runs every area end to end with a valid report."""
+
+    @pytest.mark.parametrize("area", AREAS)
+    def test_area_produces_valid_report(self, area, tmp_path):
+        report = run_area(area, quick=True, out_dir=str(tmp_path))
+        validate_report(report)
+        assert report["area"] == area
+        assert report["quick"] is True
+        on_disk = json.loads(
+            (tmp_path / f"BENCH_{area}.json").read_text()
+        )
+        validate_report(on_disk)
+        names = [b["name"] for b in on_disk["benchmarks"]]
+        assert len(names) == len(set(names))
+
+    def test_routing_quick_carries_reference_baseline(self):
+        report = run_area("routing", quick=True, out_dir=None)
+        names = {b["name"] for b in report["benchmarks"]}
+        assert "route_dag/grid/20q/reference-scorer" in names
+        vec = next(
+            b
+            for b in report["benchmarks"]
+            if b["name"] == "route_dag/grid/20q"
+        )
+        assert "speedup_vs_reference" not in vec["extra"] or (
+            vec["extra"]["speedup_vs_reference"] > 0
+        )
+
+
+class TestCLI:
+    def test_module_quick_no_write(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--area", "sim", "--quick", "--no-write"]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_sim" not in out
+        assert "median" in out
+
+    def test_cli_bench_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "bench",
+                "--area",
+                "sim",
+                "--quick",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        report = json.loads((tmp_path / "BENCH_sim.json").read_text())
+        validate_report(report)

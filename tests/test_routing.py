@@ -280,3 +280,116 @@ class TestConnectivityExperiment:
         with pytest.raises(ValueError):
             target_for(4, "torus")
         assert target_for(5, "grid").n_qubits >= 5
+
+
+class TestScorerEquivalence:
+    """The vectorized swap scorer must match the closure scorer exactly."""
+
+    SCORER_TARGETS = {
+        "line": lambda: Target.line(8),
+        "ring": lambda: Target.ring(8),
+        "grid": lambda: Target.grid(2, 4),
+    }
+
+    @staticmethod
+    def _with_errors(target: Target, rng: np.random.Generator) -> Target:
+        # Coarsely quantized rates so score ties actually happen and
+        # the cost-aware tie-break path is exercised.
+        rates = (1e-3, 2e-3, 5e-3)
+        errs = {
+            e: float(rng.choice(rates)) for e in target.coupling.edges
+        }
+        return Target(
+            coupling=target.coupling, name=target.name, edge_errors=errs
+        )
+
+    @pytest.mark.parametrize("topology", sorted(SCORER_TARGETS))
+    @pytest.mark.parametrize("layout", ["trivial", "dense"])
+    @pytest.mark.parametrize("cost_aware", [False, True])
+    def test_routing_byte_identical(self, topology, layout, cost_aware):
+        rng = np.random.default_rng(hash((topology, layout, cost_aware)) % 2**32)
+        base = self.SCORER_TARGETS[topology]()
+        target = self._with_errors(base, rng) if cost_aware else base
+        for trial in range(12):
+            n = int(rng.integers(3, 9))
+            circ = random_circuit(n, 40, rng)
+            vec = route_circuit(
+                circ, target, layout=layout,
+                cost_aware=cost_aware, scorer="vector",
+            )
+            ref = route_circuit(
+                circ, target, layout=layout,
+                cost_aware=cost_aware, scorer="reference",
+            )
+            assert vec.circuit.gates == ref.circuit.gates
+            assert vec.final_layout == ref.final_layout
+            assert vec.metrics.swaps_inserted == ref.metrics.swaps_inserted
+
+    @pytest.mark.parametrize("cost_aware", [False, True])
+    def test_best_swap_picks_identical_edge(self, cost_aware):
+        from repro.target.routing import _best_swap, _best_swap_reference
+
+        rng = np.random.default_rng(99)
+        base = Target.grid(3, 3)
+        target = self._with_errors(base, rng)
+        cost = target if cost_aware else None
+        cmap = target.coupling
+        n = target.n_qubits
+        for trial in range(60):
+            lay = Layout(rng.permutation(n))
+            # Front pairs are wire-disjoint (ready gates never share a
+            # qubit), matching the router's invariant.
+            wires = list(rng.permutation(n))
+            front = [
+                (wires[2 * i], wires[2 * i + 1])
+                for i in range(int(rng.integers(1, 4)))
+            ]
+            extended = [
+                tuple(int(q) for q in rng.choice(n, size=2, replace=False))
+                for _ in range(int(rng.integers(0, 5)))
+            ]
+            got = _best_swap(
+                cmap, lay, front, extended, 0.5, None, cost
+            )
+            want = _best_swap_reference(
+                cmap, lay, front, extended, 0.5, None, cost
+            )
+            assert got == want
+
+    def test_scorer_argument_validated(self):
+        c = Circuit(2)
+        c.cx(0, 1)
+        with pytest.raises(ValueError, match="scorer"):
+            route_circuit(c, Target.line(2), scorer="fancy")
+
+
+class TestOscillationGuard:
+    """Degree-1 corridors must not ping-pong the same swap."""
+
+    def test_sole_candidate_equal_to_last_swap_returns_none(self):
+        from repro.target.routing import _best_swap, _best_swap_reference
+
+        cmap = CouplingMap.line(2)
+        lay = Layout.trivial(2)
+        for scorer in (_best_swap, _best_swap_reference):
+            assert (
+                scorer(cmap, lay, [(0, 1)], [], 0.5, (0, 1), None) is None
+            )
+
+    @pytest.mark.parametrize("n", [4, 6, 10, 16])
+    def test_line_worst_case_swap_bound(self, n):
+        # Repeated far-pair interactions on an open chain: the known
+        # worst case for swap churn.  The bound is linear in the total
+        # pair distance; an oscillating router blows through it (or
+        # trips its internal swap-budget RuntimeError).
+        t = Target.line(n)
+        c = Circuit(n)
+        for _ in range(3):
+            for i in range(n // 2):
+                c.append("cx", (i, n - 1 - i))
+        res = route_circuit(c, t, layout="trivial")
+        total_distance = sum(
+            abs(g.qubits[0] - g.qubits[1]) for g in c.gates
+        )
+        assert res.swaps_inserted <= 2 * total_distance
+        assert on_coupling_edges(res.circuit, t)

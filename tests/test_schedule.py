@@ -506,3 +506,77 @@ class TestRoutingCostAware:
         t = dataclasses.replace(t, edge_errors=errs)
         lay = dense_layout(c, t)
         assert {lay.physical(0), lay.physical(1)} == {3, 4}
+
+
+class TestIdleMarkerHygiene:
+    """Markers are bookkeeping: metrics and passes must not count them."""
+
+    @staticmethod
+    def _marked_circuit():
+        c = Circuit(3)
+        c.h(0).t(0).cx(0, 1).t(1).cx(1, 2).s(2)
+        marked = insert_idle_markers(c, Target.line(3))
+        assert any(is_idle_marker(g) for g in marked.gates)
+        return c, marked
+
+    def test_metrics_ignore_markers(self):
+        from repro.circuits import (
+            depth,
+            gate_counts,
+            t_count,
+            t_depth,
+            two_qubit_depth,
+        )
+
+        c, marked = self._marked_circuit()
+        assert depth(marked) == depth(c)
+        assert t_depth(marked) == t_depth(c)
+        assert two_qubit_depth(marked) == two_qubit_depth(c)
+        assert t_count(marked) == t_count(c)
+        assert gate_counts(marked) == gate_counts(c)
+
+    def test_gate_counts_keeps_plain_identity(self):
+        from repro.circuits import gate_counts
+
+        c = Circuit(1)
+        c.append("i", 0)  # plain identity: a real gate, no duration
+        c.t(0)
+        assert gate_counts(c) == {"i": 1, "t": 1}
+
+    def test_strip_idle_markers_roundtrip(self):
+        from repro.schedule import strip_idle_markers
+
+        c, marked = self._marked_circuit()
+        stripped = strip_idle_markers(marked)
+        assert not any(is_idle_marker(g) for g in stripped.gates)
+        assert sorted(g.name for g in stripped.gates) == sorted(
+            g.name for g in c.gates
+        )
+        # Markers are identities, so stripping preserves the state.
+        np.testing.assert_allclose(
+            stripped.statevector(), c.statevector(), atol=1e-12
+        )
+
+    def test_optimize_after_scheduling_matches_unmarked(self):
+        from repro.optimizers import optimize_circuit
+
+        c, marked = self._marked_circuit()
+        opt_marked = optimize_circuit(marked)
+        opt_plain = optimize_circuit(c)
+        assert not any(is_idle_marker(g) for g in opt_marked.gates)
+        assert sorted(g.name for g in opt_marked.gates) == sorted(
+            g.name for g in opt_plain.gates
+        )
+        overlap = abs(
+            np.vdot(opt_marked.statevector(), c.statevector())
+        )
+        assert overlap == pytest.approx(1.0, abs=1e-9)
+
+    def test_schedule_mark_optimize_metrics_roundtrip(self):
+        from repro.circuits import depth, gate_counts
+        from repro.optimizers import optimize_circuit
+
+        c, marked = self._marked_circuit()
+        recompiled = optimize_circuit(marked)
+        assert gate_counts(recompiled) == gate_counts(optimize_circuit(c))
+        assert depth(recompiled) == depth(optimize_circuit(c))

@@ -115,6 +115,34 @@ class TestTarget:
         with pytest.raises(ValueError, match="missing field"):
             Target.from_dict({"edges": []})
 
+    def test_save_is_atomic(self, tmp_path, monkeypatch):
+        # A crash mid-write must never corrupt an existing calibration
+        # file: the write goes to a tmp file first (regression test for
+        # the in-place json.dump this replaced).
+        import os as os_mod
+
+        t_old = Target.line(3, gate_errors={"cx": 1e-2})
+        t_new = Target.line(3, gate_errors={"cx": 9e-2})
+        path = tmp_path / "target.json"
+        t_old.save(str(path))
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(
+            "repro.target.target.os.replace", exploding_replace
+        )
+        with pytest.raises(OSError, match="disk full"):
+            t_new.save(str(path))
+        monkeypatch.undo()
+        # The original survives intact and no tmp litter remains.
+        assert Target.load(str(path)).gate_errors == {"cx": 1e-2}
+        assert os_mod.listdir(tmp_path) == ["target.json"]
+        # And the happy path really replaces the contents.
+        t_new.save(str(path))
+        assert Target.load(str(path)).gate_errors == {"cx": 9e-2}
+        assert os_mod.listdir(tmp_path) == ["target.json"]
+
     def test_parse_target_grammar(self):
         assert parse_target("line:8").n_qubits == 8
         assert parse_target("ring:12").n_qubits == 12
