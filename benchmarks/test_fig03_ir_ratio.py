@@ -4,7 +4,6 @@ Paper shape: ratios range from 1.0 to ~2.5 across the suite; many
 circuits offer merge opportunities, so most ratios exceed 1.
 """
 
-import numpy as np
 from conftest import write_result
 
 from repro.experiments.ir_comparison import run_ir_comparison

@@ -37,7 +37,7 @@ def test_fig09_optimal_threshold_scaling(benchmark):
     text = (
         "FIGURE 9 (RQ2): process infidelity vs synthesis threshold\n"
         + table
-        + f"\noptimal thresholds per rate: "
+        + "\noptimal thresholds per rate: "
         + ", ".join(f"{r:g}->{e:g}" for r, e in sorted(opt.items()))
         + f"\nfit eps* = {c:.2f} * rate^{alpha:.2f}"
         + "\npaper: eps* = 1.22 * rate^0.5; eps=0.001 optimal for rates 1e-6..1e-7"

@@ -7,8 +7,6 @@ risk — so the best threshold is finite, scaling like sqrt(logical rate).
     python examples/error_budget_tradeoff.py
 """
 
-import numpy as np
-
 from repro.experiments.rq2_tradeoff import run_rq2
 
 result = run_rq2(n_angles=8, seed=3)

@@ -16,8 +16,6 @@ cache makes the batch dramatically cheaper:
 
 import time
 
-import numpy as np
-
 from repro.circuits import Circuit, t_count
 from repro.circuits.qasm import to_qasm
 from repro.pipeline import SynthesisCache, compile_batch, compile_circuit

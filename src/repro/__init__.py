@@ -6,7 +6,8 @@ substrate the paper's evaluation rests on: a Ross-Selinger gridsynth
 baseline, exact Clifford+T enumeration, a quantum-circuit IR and
 transpiler, a hardware target model with layout/routing
 (:mod:`repro.target`), benchmark circuit generators, noisy simulators,
-and post-synthesis optimizers.
+post-synthesis optimizers, and the :mod:`repro.analysis` verification
+layer (IR checkers, per-pass contracts, and a project linter).
 
 Quickstart::
 
@@ -19,6 +20,15 @@ Quickstart::
     print(ours.t_count, "T gates vs", baseline.t_count)
 """
 
+from repro.analysis import (
+    VerificationError,
+    check_basis,
+    check_connectivity,
+    check_schedule,
+    verify_circuit,
+    verify_compiled,
+    verify_dag,
+)
 from repro.circuits import Circuit, CircuitDAG
 from repro.enumeration import build_table, get_table
 from repro.optimizers import optimize_circuit
@@ -67,8 +77,12 @@ __all__ = [
     "Schedule",
     "SynthesisCache",
     "Target",
+    "VerificationError",
     "allocate_eps_budget",
     "build_table",
+    "check_basis",
+    "check_connectivity",
+    "check_schedule",
     "compile_batch",
     "compile_circuit",
     "estimate_esp",
@@ -89,5 +103,8 @@ __all__ = [
     "transpile",
     "trasyn",
     "u3",
+    "verify_circuit",
+    "verify_compiled",
+    "verify_dag",
     "with_idle_noise",
 ]

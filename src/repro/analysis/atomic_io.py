@@ -1,0 +1,68 @@
+"""Atomic file writes: the one tmp + ``os.replace`` idiom, shared.
+
+PRs 1-6 grew three hand-rolled copies of the same write-and-replace
+dance (``SynthesisCache.save``, ``Target.save``, the bench harness'
+``write_report``) while the CLI's QASM outputs stayed plain ``open``
+calls that an interrupted run leaves truncated on disk.  This module is
+the single implementation all of them now route through, and the
+anchor the project linter's ``atomic-write`` rule points offenders at:
+a write is atomic iff it lands in a unique temp file first and is
+published with ``os.replace`` (POSIX rename semantics — readers see
+either the old complete file or the new complete file, never a prefix).
+
+No repro imports on purpose: every layer (target, pipeline, bench,
+CLI) may depend on this module without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any
+
+
+def _tmp_name(path: str) -> str:
+    # Unique per writer: concurrent savers of the same path must not
+    # interleave into one temp file and publish garbage.
+    return f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + ``os.replace``).
+
+    On any failure the temp file is removed and the previous contents
+    of ``path`` (if any) are left untouched.
+    """
+    path = os.fspath(path)
+    tmp = _tmp_name(path)
+    try:
+        with open(tmp, "w", encoding="utf-8") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: str | os.PathLike,
+    obj: Any,
+    *,
+    indent: int | None = None,
+    sort_keys: bool = False,
+    trailing_newline: bool = False,
+) -> None:
+    """Serialize ``obj`` as JSON and publish it atomically.
+
+    The serialization happens *before* the temp file is replaced over
+    ``path``, so a ``TypeError`` from an unserializable object can
+    never corrupt an existing file either.
+    """
+    text = json.dumps(obj, indent=indent, sort_keys=sort_keys)
+    if trailing_newline:
+        text += "\n"
+    atomic_write_text(path, text)

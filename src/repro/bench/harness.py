@@ -41,10 +41,7 @@ self-describing.
 
 from __future__ import annotations
 
-import json
-import os
 import statistics
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -172,20 +169,11 @@ def report_dict(
 
 
 def write_report(path: str, report: dict[str, Any]) -> None:
-    """Atomically write a report (same idiom as the synthesis cache)."""
+    """Atomically write a report via :mod:`repro.analysis.atomic_io`."""
+    from repro.analysis.atomic_io import atomic_write_json
+
     validate_report(report)
-    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=False)
-        fh.write("\n")
-    try:
-        os.replace(tmp, path)
-    except OSError:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    atomic_write_json(path, report, indent=2, trailing_newline=True)
 
 
 def validate_report(report: Any) -> None:

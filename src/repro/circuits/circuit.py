@@ -14,7 +14,6 @@ is decomposed by the benchmark generators before reaching the IR.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -6,6 +6,7 @@ synth-rz       Synthesize one Rz(theta) rotation with gridsynth.
 synth-u3       Synthesize an arbitrary unitary (three Euler angles) with trasyn.
 compile        Compile an OpenQASM 2.0 file through a synthesis workflow.
 compile-batch  Compile many OpenQASM files in parallel with a shared cache.
+verify         Check a circuit's structural/basis/connectivity invariants.
 schedule       ASAP/ALAP timed schedule, idle accounting, and predicted ESP.
 simulate       Noisy fidelity evaluation through a simulation backend.
 catalog        Print the Clifford+T enumeration summary for a T budget.
@@ -104,7 +105,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         circuit, workflow=args.workflow, eps=args.eps, cache=cache,
         seed=args.seed, optimization_level=args.optimization_level,
         target=target, layout=args.layout, objective=args.objective,
-        eps_budget=args.eps_budget,
+        eps_budget=args.eps_budget, validate=args.validate,
     )
     out = result.circuit
     if result.routing is not None:
@@ -131,8 +132,9 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     print(f"Clifford count        : {clifford_count(out)}")
     print(f"synthesis error bound : {result.total_synthesis_error:.3e}")
     if args.output:
-        with open(args.output, "w") as f:
-            f.write(to_qasm(out))
+        from repro.analysis.atomic_io import atomic_write_text
+
+        atomic_write_text(args.output, to_qasm(out))
         print(f"wrote {args.output}")
     if args.cache_file:
         cache.save(args.cache_file)
@@ -140,6 +142,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_compile_batch(args: argparse.Namespace) -> int:
+    from repro.analysis.atomic_io import atomic_write_text
     from repro.circuits.qasm import from_qasm, to_qasm
     from repro.pipeline import compile_batch
 
@@ -157,7 +160,7 @@ def _cmd_compile_batch(args: argparse.Namespace) -> int:
         seed=args.seed, max_workers=args.jobs,
         optimization_level=args.optimization_level,
         target=target, layout=args.layout, objective=args.objective,
-        eps_budget=args.eps_budget,
+        eps_budget=args.eps_budget, validate=args.validate,
     )
     stats = cache.stats()
     for path, result in zip(args.inputs, batch.results):
@@ -192,11 +195,41 @@ def _cmd_compile_batch(args: argparse.Namespace) -> int:
             if n:
                 base = f"{base}-{n + 1}"
             dest = os.path.join(args.output_dir, f"{base}_compiled.qasm")
-            with open(dest, "w") as f:
-                f.write(to_qasm(result.circuit))
+            atomic_write_text(dest, to_qasm(result.circuit))
             print(f"wrote {dest}")
     if args.cache_file:
         cache.save(args.cache_file)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        VerificationError,
+        check_basis,
+        check_connectivity,
+        verify_circuit,
+    )
+    from repro.circuits.qasm import from_qasm
+
+    with open(args.input) as f:
+        circuit = from_qasm(f.read())
+    target = _parse_target_arg(args.target)
+    checks = []
+    try:
+        verify_circuit(circuit)
+        checks.append("structural")
+        if args.level == "full":
+            if args.basis:
+                check_basis(circuit, args.basis)
+                checks.append(f"basis[{args.basis}]")
+            if target is not None:
+                check_connectivity(circuit, target)
+                checks.append("connectivity")
+    except VerificationError as exc:
+        print(f"FAIL {args.input}: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK {args.input}: {circuit.n_qubits} qubits, "
+          f"{len(circuit.gates)} gates ({', '.join(checks)})")
     return 0
 
 
@@ -339,6 +372,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="circuit-level accuracy budget split across "
                         "rotations by schedule criticality (replaces the "
                         "flat per-rotation --eps)")
+    p.add_argument("--validate", choices=("off", "structural", "full"),
+                   default="off",
+                   help="verify IR invariants and pass contracts at every "
+                        "compilation stage (see repro.analysis)")
     p.add_argument("--output", default=None)
     p.add_argument("--cache-file", default=None,
                    help="JSON synthesis cache to reuse and update")
@@ -368,6 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eps-budget", type=float, default=None,
                    help="circuit-level accuracy budget split across "
                         "rotations by schedule criticality")
+    p.add_argument("--validate", choices=("off", "structural", "full"),
+                   default="off",
+                   help="verify IR invariants and pass contracts at every "
+                        "compilation stage (see repro.analysis)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker threads (default: one per circuit, "
                         "capped at CPU count)")
@@ -376,6 +417,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output-dir", default=None,
                    help="write each compiled circuit as QASM here")
     p.set_defaults(func=_cmd_compile_batch)
+
+    p = sub.add_parser(
+        "verify",
+        help="check an OpenQASM circuit's structural invariants and, at "
+             "--level full, basis and coupling-map compliance",
+    )
+    p.add_argument("input")
+    p.add_argument("--target", default=None,
+                   help="coupling map the circuit must comply with "
+                        "(line:8, grid:3x3, ..., or a target .json)")
+    p.add_argument("--level", choices=("structural", "full"),
+                   default="structural",
+                   help="structural only (default) or also basis/"
+                        "connectivity compliance")
+    p.add_argument("--basis", choices=("u3", "rz", "clifford_t"),
+                   default=None,
+                   help="gate vocabulary the circuit must stay within "
+                        "at --level full")
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser(
         "schedule",

@@ -16,7 +16,7 @@ import math
 from dataclasses import dataclass
 
 from repro.bench_circuits import BenchmarkCase
-from repro.circuits import Circuit, depth, rotation_count, two_qubit_depth
+from repro.circuits import Circuit, rotation_count
 from repro.target import Target, route_circuit
 from repro.transpiler import transpile
 
@@ -27,6 +27,8 @@ TOPOLOGY_FACTORIES = {
     "ring": lambda n: Target.ring(max(3, n)),
     "grid": lambda n: _smallest_grid(n),
 }
+
+ALL_TOPOLOGIES = tuple(TOPOLOGY_FACTORIES)
 
 
 def _smallest_grid(n: int) -> Target:
@@ -70,7 +72,7 @@ class ConnectivityCase:
 
 def run_connectivity_comparison(
     cases: list[BenchmarkCase],
-    topologies: tuple[str, ...] = tuple(TOPOLOGY_FACTORIES),
+    topologies: tuple[str, ...] = ALL_TOPOLOGIES,
     optimization_level: int = 2,
     layout: str = "dense",
 ) -> list[ConnectivityCase]:

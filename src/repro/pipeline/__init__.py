@@ -16,6 +16,10 @@ compiler service:
   with JSON persistence,
 * :func:`compile_circuit` / :func:`compile_batch` — the end-to-end
   transpile→synthesize flow, parallel over circuits.
+
+Every entry point takes ``validate="off"|"structural"|"full"``, which
+runs the :mod:`repro.analysis` contract checkers between passes and on
+the final output.
 """
 
 from repro.pipeline.batch import (

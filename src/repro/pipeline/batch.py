@@ -253,12 +253,18 @@ def _lower(
     optimization_level: int | str,
     commutation: bool | None,
     pipeline: PassManager | None,
+    validate: str = "off",
 ) -> Circuit:
     if pipeline is not None:
+        # An explicit pipeline carries its own validate setting.
         return pipeline.run(circuit)
     if optimization_level == "best":
-        return best_preset_lowering(circuit, basis, commutation)
-    pm = preset_pipeline(basis, int(optimization_level), bool(commutation))
+        return best_preset_lowering(
+            circuit, basis, commutation, validate=validate
+        )
+    pm = preset_pipeline(
+        basis, int(optimization_level), bool(commutation), validate=validate
+    )
     return pm.run(circuit)
 
 
@@ -325,6 +331,7 @@ def compile_circuit(
     objective: str = "count",
     eps_budget: float | None = None,
     cost_aware: bool | None = None,
+    validate: str = "off",
 ) -> SynthesizedCircuit:
     """Compile one circuit to Clifford+T through the pass pipeline.
 
@@ -369,7 +376,21 @@ def compile_circuit(
         per-edge-calibrated targets).  Pass ``False`` to pin the
         error-agnostic router, e.g. as an experimental baseline.  The
         objective grid explores both settings regardless.
+    validate:
+        ``"off"``/``"structural"``/``"full"`` contract verification of
+        every compilation stage (see
+        :class:`repro.pipeline.PassManager`): the lowering pipeline
+        runs under a :class:`repro.analysis.ContractChecker`, the
+        routed circuit and the final Clifford+T output are verified
+        with :func:`repro.analysis.verify_compiled`, and at ``"full"``
+        the attached schedule is checked for per-qubit overlap.
     """
+    from repro.analysis.contracts import VALIDATE_MODES
+
+    if validate not in VALIDATE_MODES:
+        raise ValueError(
+            f"validate must be one of {VALIDATE_MODES}, got {validate!r}"
+        )
     if workflow not in _WORKFLOW_BASIS:
         raise ValueError("workflow must be 'trasyn' or 'gridsynth'")
     if objective not in OBJECTIVES:
@@ -414,6 +435,14 @@ def compile_circuit(
             from repro.schedule import schedule_circuit
 
             result.schedule = schedule_circuit(result.circuit)
+        if validate != "off":
+            from repro.analysis import check_schedule, verify_compiled
+
+            verify_compiled(
+                result.circuit, target, level=validate, basis="clifford_t"
+            )
+            if validate == "full" and result.schedule is not None:
+                check_schedule(result.schedule)
         return result
 
     single_variant = (
@@ -428,8 +457,13 @@ def compile_circuit(
             routing, work = _route_to_target(
                 circuit, target, layout, cost_aware
             )
+            if validate != "off":
+                from repro.analysis import verify_compiled
+
+                verify_compiled(work, target, level=validate)
         lowered = work if pre_transpiled else _lower(
-            work, basis, optimization_level, commutation, pipeline
+            work, basis, optimization_level, commutation, pipeline,
+            validate=validate,
         )
         result = synth(lowered, routing)
     else:
@@ -455,12 +489,13 @@ def compile_circuit(
             if optimization_level == "best":
                 lowerings = [
                     pm.run(work)
-                    for _, comm, pm in iter_presets(basis)
+                    for _, comm, pm in iter_presets(basis, validate=validate)
                     if commutation is None or comm == commutation
                 ]
             else:
                 pm = preset_pipeline(
-                    basis, int(optimization_level), bool(commutation)
+                    basis, int(optimization_level), bool(commutation),
+                    validate=validate,
                 )
                 lowerings = [pm.run(work)]
             for lowered in lowerings:
@@ -519,6 +554,7 @@ def compile_batch(
     layout="dense",
     objective: str = "count",
     eps_budget: float | None = None,
+    validate: str = "off",
 ) -> BatchResult:
     """Compile many circuits concurrently with a shared synthesis cache.
 
@@ -538,7 +574,7 @@ def compile_batch(
             circuit, workflow=workflow, eps=eps, cache=cache, seed=seed,
             optimization_level=optimization_level, commutation=commutation,
             pipeline=pipeline, target=target, layout=layout,
-            objective=objective, eps_budget=eps_budget,
+            objective=objective, eps_budget=eps_budget, validate=validate,
         )
 
     results = map_parallel(job, circuits, max_workers)

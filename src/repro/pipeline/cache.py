@@ -163,25 +163,22 @@ class SynthesisCache:
 
     # -- persistence -------------------------------------------------------
     def save(self, path: str | os.PathLike) -> None:
-        """Write every entry as JSON (atomic replace)."""
+        """Write every entry as JSON (atomic replace).
+
+        Routed through :func:`repro.analysis.atomic_write_json`: the
+        payload is serialized first and published with a unique temp
+        file + ``os.replace``, so a failed save (full disk, kill) can
+        never truncate or corrupt an existing cache file.
+        """
+        from repro.analysis.atomic_io import atomic_write_json
+
         with self._lock:
             entries = [
                 {"key": list(k), "gates": list(s.gates), "error": s.error}
                 for k, s in self._store.items()
             ]
         payload = {"version": _FORMAT_VERSION, "entries": entries}
-        # Unique temp name per writer: concurrent savers must not
-        # interleave into one temp file and publish garbage.
-        tmp = (f"{os.fspath(path)}.tmp."
-               f"{os.getpid()}.{threading.get_ident()}")
-        try:
-            with open(tmp, "w") as f:
-                json.dump(payload, f)
-            os.replace(tmp, path)
-        except OSError:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write_json(path, payload)
 
     @classmethod
     def load(

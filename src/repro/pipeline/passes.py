@@ -37,9 +37,23 @@ class Pass:
 
     Subclasses implement :meth:`run`; ``name`` identifies the pass in
     metrics and reprs.  Passes must not mutate their input circuit.
+
+    ``requires``/``ensures`` declare the pass's contract from the
+    :data:`repro.analysis.CONTRACT_VOCABULARY` (``structural``,
+    ``basis``, ``connectivity``, ``unitary_preserving``); a pass
+    ensuring ``basis`` names its gate vocabulary in ``basis``, and a
+    pass that repairs CX orientation on directed couplings sets
+    ``fixes_directions``.  ``PassManager(validate=...)`` enforces the
+    contracts (see :class:`repro.analysis.ContractChecker`).
     """
 
     name: str = "pass"
+    requires: tuple[str, ...] = ()
+    ensures: tuple[str, ...] = ()
+    #: Gate vocabulary promised by an ``ensures`` containing "basis"
+    #: (a ``repro.analysis.BASIS_SETS`` key or iterable of gate names).
+    basis: object = "clifford_t"
+    fixes_directions: bool = False
 
     def run(self, circuit: Circuit) -> Circuit:
         raise NotImplementedError
@@ -66,6 +80,8 @@ class MergeRuns(Pass):
     """Fuse maximal 1q-gate runs into single U3 gates."""
 
     name = "merge_1q_runs"
+    ensures = ("unitary_preserving", "basis")
+    basis = "u3"
 
     def __init__(self, drop_identities: bool = True):
         self.drop_identities = drop_identities
@@ -78,6 +94,7 @@ class CommuteRotations(Pass):
     """Move Rz/Rx through CX to create merge opportunities."""
 
     name = "commute_rotations"
+    ensures = ("unitary_preserving",)
 
     def run(self, circuit: Circuit) -> Circuit:
         return commute_rotations(circuit)
@@ -87,6 +104,7 @@ class CancelInversePairs(Pass):
     """Remove adjacent self-inverse duplicates and inverse pairs."""
 
     name = "cancel_inverse_pairs"
+    ensures = ("unitary_preserving",)
 
     def __init__(self, max_passes: int = 8):
         self.max_passes = max_passes
@@ -99,6 +117,7 @@ class SnapTrivialRotations(Pass):
     """Round rotation angles within ``tol`` of pi/4 multiples."""
 
     name = "snap_trivial_rotations"
+    ensures = ("unitary_preserving",)
 
     def __init__(self, tol: float = 1e-9):
         self.tol = tol
@@ -111,6 +130,8 @@ class DecomposeToRzBasis(Pass):
     """Lower every 1q gate to {H, Rz} + discrete Cliffords (Eq. 1)."""
 
     name = "decompose_to_rz_basis"
+    ensures = ("unitary_preserving", "basis")
+    basis = "rz"
 
     def run(self, circuit: Circuit) -> Circuit:
         return decompose_to_rz_basis(circuit)
@@ -120,6 +141,8 @@ class IsolateU3(Pass):
     """Convert each 1q gate to U3 individually (level-0 lowering)."""
 
     name = "isolate_u3"
+    ensures = ("unitary_preserving", "basis")
+    basis = "u3"
 
     def run(self, circuit: Circuit) -> Circuit:
         return _isolate_1q(circuit)
@@ -161,6 +184,7 @@ class RouteToTarget(Pass):
     """
 
     name = "route_to_target"
+    ensures = ("connectivity",)
 
     def __init__(self, target, lookahead: int | None = None,
                  lookahead_weight: float | None = None):
@@ -193,6 +217,9 @@ class FixDirections(Pass):
     """Repair CX orientation on directed couplings (H conjugation)."""
 
     name = "fix_directions"
+    requires = ("connectivity",)
+    ensures = ("connectivity",)
+    fixes_directions = True
 
     def __init__(self, target):
         self.target = target
@@ -285,6 +312,7 @@ class CancelInverses(DAGPass):
     """Wire-adjacent inverse cancellation on the DAG (to fixpoint)."""
 
     name = "cancel_inverses"
+    ensures = ("unitary_preserving",)
 
     def run_dag(self, dag: CircuitDAG) -> None:
         cancel_inverses(dag)
@@ -294,6 +322,7 @@ class MergeRotations(DAGPass):
     """Wire-adjacent rotation merging: rz·rz → rz, u3·u3 fusion."""
 
     name = "merge_rotations"
+    ensures = ("unitary_preserving",)
 
     def run_dag(self, dag: CircuitDAG) -> None:
         merge_rotations(dag)
@@ -303,6 +332,7 @@ class FoldPhases(DAGPass):
     """Commutation-aware parity phase folding on the DAG."""
 
     name = "fold_phases"
+    ensures = ("unitary_preserving",)
 
     def run_dag(self, dag: CircuitDAG) -> None:
         fold_phases_dag(dag)
@@ -312,6 +342,7 @@ class DagOptimize(DAGPass):
     """The combined cancel/merge/fold fixpoint loop (level-4 core)."""
 
     name = "dag_optimize"
+    ensures = ("unitary_preserving",)
 
     def __init__(self, max_rounds: int = 8):
         self.max_rounds = max_rounds
@@ -350,10 +381,31 @@ class PassManager:
     ``PassManager([...]).run(c)`` equals composing the underlying pass
     functions left to right; :meth:`run_detailed` additionally returns
     a :class:`PassMetrics` entry per pass.
+
+    ``validate`` turns on contract verification between passes:
+    ``"off"`` (the default) adds no work, ``"structural"`` runs the
+    cheap IR well-formedness check after every pass, and ``"full"``
+    additionally enforces each pass's ``requires``/``ensures``
+    contract, persistent basis/connectivity properties, DAG wire
+    consistency for :class:`DAGPass` rewrites, and unitary
+    preservation on small circuits.  Violations raise
+    :class:`repro.analysis.VerificationError` naming the pass, the
+    offending node, and the broken contract.  ``target`` supplies the
+    coupling map for connectivity checks when the ensuring pass does
+    not carry one.
     """
 
-    def __init__(self, passes: Iterable[Pass] = ()):
+    def __init__(self, passes: Iterable[Pass] = (), *,
+                 validate: str = "off", target=None):
+        from repro.analysis.contracts import VALIDATE_MODES
+
+        if validate not in VALIDATE_MODES:
+            raise ValueError(
+                f"validate must be one of {VALIDATE_MODES}, got {validate!r}"
+            )
         self.passes: list[Pass] = list(passes)
+        self.validate = validate
+        self.target = target
 
     def append(self, p: Pass) -> "PassManager":
         self.passes.append(p)
@@ -380,23 +432,42 @@ class PassManager:
         """Run every pass in order, collecting per-pass metrics.
 
         The manager holds no state about the run (the result carries
-        the metrics), so a single instance is safe to share across the
-        worker threads of :func:`repro.pipeline.compile_batch`.
+        the metrics, validation state lives in a per-run
+        :class:`repro.analysis.ContractChecker`), so a single instance
+        is safe to share across the worker threads of
+        :func:`repro.pipeline.compile_batch`.
         """
+        from repro.analysis.contracts import ContractChecker
+
+        checker = ContractChecker(self.validate, target=self.target)
+        checker.check_input(circuit)
         work = circuit
         metrics: list[PassMetrics] = []
         for p in self.passes:
+            checker.before_pass(p, work)
             gates_in = len(work.gates)
             rot_in = rotation_count(work)
             start = time.monotonic()
-            work = p.run(work)
+            if checker.full and isinstance(p, DAGPass):
+                # Run the DAG rewrite under the manager's control so a
+                # corrupted wire is caught (and attributed to the pass)
+                # before linearization crashes on it or hides it.
+                dag = CircuitDAG.from_circuit(work)
+                p.run_dag(dag)
+                checker.check_dag(p, dag)
+                out = dag.to_circuit()
+            else:
+                out = p.run(work)
             elapsed = time.monotonic() - start
+            checker.after_pass(p, work, out)
             metrics.append(PassMetrics(
                 name=p.name,
                 wall_time=elapsed,
                 gates_in=gates_in,
-                gates_out=len(work.gates),
+                gates_out=len(out.gates),
                 rotations_in=rot_in,
-                rotations_out=rotation_count(work),
+                rotations_out=rotation_count(out),
             ))
+            work = out
+        checker.final(work)
         return PipelineResult(circuit=work, metrics=metrics)

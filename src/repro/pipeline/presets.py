@@ -59,6 +59,7 @@ def preset_pipeline(
     commutation: bool = False,
     target=None,
     layout="dense",
+    validate: str = "off",
 ) -> PassManager:
     """The pass sequence lowering a circuit to ``basis`` at a level.
 
@@ -73,6 +74,10 @@ def preset_pipeline(
     :class:`FixDirections` — *before* the optimization core and basis
     lowering at every level, so 1q-run merges happen on the routed
     circuit and survive the inserted SWAPs.
+
+    ``validate`` (``"off"``/``"structural"``/``"full"``) turns on
+    contract verification between passes; see
+    :class:`repro.pipeline.PassManager`.
     """
     if basis not in BASES:
         raise ValueError("basis must be 'u3' or 'rz'")
@@ -100,10 +105,12 @@ def preset_pipeline(
         passes.append(IsolateU3())
     else:
         passes.append(MergeRuns())
-    return PassManager(passes)
+    return PassManager(passes, validate=validate, target=target)
 
 
-def iter_presets(basis: str) -> Iterator[tuple[int, bool, PassManager]]:
+def iter_presets(
+    basis: str, validate: str = "off"
+) -> Iterator[tuple[int, bool, PassManager]]:
     """All (level, commutation, pipeline) presets for one target basis.
 
     This is the grid :func:`repro.experiments.workflows.best_transpile`
@@ -111,7 +118,9 @@ def iter_presets(basis: str) -> Iterator[tuple[int, bool, PassManager]]:
     """
     for level in OPTIMIZATION_LEVELS:
         for commutation in (False, True):
-            yield level, commutation, preset_pipeline(basis, level, commutation)
+            yield level, commutation, preset_pipeline(
+                basis, level, commutation, validate=validate
+            )
 
 
 def best_preset_lowering(
@@ -120,6 +129,7 @@ def best_preset_lowering(
     commutation: bool | None = None,
     target=None,
     layout="dense",
+    validate: str = "off",
 ) -> Circuit:
     """Fewest-rotations lowering over the preset grid (Section 3.4).
 
@@ -138,8 +148,12 @@ def best_preset_lowering(
 
         routed = route_circuit(circuit, target, layout=layout)
         circuit, _ = fix_gate_directions(routed.circuit, target)
+        if validate != "off":
+            from repro.analysis.contracts import verify_compiled
+
+            verify_compiled(circuit, target, level=validate)
     best: tuple[int, Circuit] | None = None
-    for _, comm, pipeline in iter_presets(basis):
+    for _, comm, pipeline in iter_presets(basis, validate=validate):
         if commutation is not None and comm != commutation:
             continue
         cand = pipeline.run(circuit)

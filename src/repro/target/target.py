@@ -15,7 +15,6 @@ from __future__ import annotations
 import json
 import os
 import re
-import threading
 from dataclasses import dataclass, field
 
 from repro.circuits.circuit import canonical_gate_name
@@ -161,22 +160,15 @@ class Target:
         )
 
     def save(self, path: str) -> None:
-        # Write-and-replace (same idiom as SynthesisCache.save): a
-        # crash mid-write must never corrupt an existing calibration
-        # file.  The tmp name is unique per writer so concurrent saves
-        # cannot trample each other's partial output.
-        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
-        with open(tmp, "w") as f:
-            json.dump(self.to_dict(), f, indent=2, sort_keys=True)
-            f.write("\n")
-        try:
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        # A crash mid-write must never corrupt an existing calibration
+        # file; atomic_write_json serializes first, then publishes via
+        # a unique temp file + os.replace.
+        from repro.analysis.atomic_io import atomic_write_json
+
+        atomic_write_json(
+            path, self.to_dict(),
+            indent=2, sort_keys=True, trailing_newline=True,
+        )
 
     @classmethod
     def load(cls, path: str) -> "Target":

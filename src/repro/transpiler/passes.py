@@ -239,6 +239,7 @@ def transpile(
     commutation: bool = False,
     target=None,
     layout="dense",
+    validate: str = "off",
 ) -> Circuit:
     """Lower ``circuit`` to the chosen IR at an optimization level (0-4).
 
@@ -256,6 +257,10 @@ def transpile(
     direction-fixed before optimization, so every 2q gate of the output
     lies on a coupling edge.
 
+    ``validate`` (``"off"``/``"structural"``/``"full"``) verifies the
+    IR and each pass's contract between passes; see
+    :class:`repro.pipeline.PassManager`.
+
     The pass sequence per level lives in
     :mod:`repro.pipeline.presets`; this function is sugar for
     ``preset_pipeline(basis, optimization_level, commutation).run(...)``.
@@ -264,7 +269,8 @@ def transpile(
     from repro.pipeline.presets import preset_pipeline
 
     return preset_pipeline(
-        basis, optimization_level, commutation, target=target, layout=layout
+        basis, optimization_level, commutation, target=target,
+        layout=layout, validate=validate,
     ).run(circuit)
 
 

@@ -49,7 +49,6 @@ class TestQuaternions:
                 assert abs(abs(np.dot(qs[i], qs[j])) - tv) < 1e-9
 
     def test_nearest_recovers_self(self):
-        rng = np.random.default_rng(1)
         table = get_table(4)
         index = QuaternionIndex(table.mats[:500])
         targets = table.mats[:10]

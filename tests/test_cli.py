@@ -104,6 +104,92 @@ class TestCompile:
         assert _field(first, "T count") == _field(second, "T count")
 
 
+class TestVerifyCommand:
+    def test_structural_ok(self, qasm_file, capsys):
+        rc = main(["verify", str(qasm_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.startswith("OK")
+        assert "structural" in out
+
+    def test_full_flags_unrouted_circuit(self, qasm_file, capsys):
+        rc = main([
+            "verify", str(qasm_file), "--target", "grid:3x3",
+            "--level", "full",
+        ])
+        captured = capsys.readouterr()
+        # cx(0,1) happens to sit on a grid edge, so this passes...
+        assert rc == 0
+        # ...but a basis restriction catches the rz rotations.
+        rc = main([
+            "verify", str(qasm_file), "--level", "full",
+            "--basis", "clifford_t",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "FAIL" in captured.err
+        assert "rz" in captured.err
+
+    def test_compiled_output_verifies_fully(self, qasm_file, tmp_path,
+                                            capsys):
+        out_path = tmp_path / "routed.qasm"
+        rc = main([
+            "compile", str(qasm_file), "--workflow", "gridsynth",
+            "--eps", "0.05", "-O", "3", "--target", "grid:2x3",
+            "--validate", "full", "--output", str(out_path),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main([
+            "verify", str(out_path), "--target", "grid:2x3",
+            "--level", "full", "--basis", "clifford_t",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "basis[clifford_t]" in out and "connectivity" in out
+
+    def test_malformed_qasm_connectivity_violation(self, tmp_path, capsys):
+        bad = tmp_path / "bad.qasm"
+        bad.write_text(
+            "OPENQASM 2.0;\n"
+            'include "qelib1.inc";\n'
+            "qreg q[4];\n"
+            "cx q[0],q[3];\n"
+        )
+        rc = main([
+            "verify", str(bad), "--target", "grid:2x2", "--level", "full",
+        ])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "connectivity" in err
+
+
+class TestAtomicOutputs:
+    def test_compile_output_write_is_atomic(self, qasm_file, tmp_path,
+                                            capsys, monkeypatch):
+        import os
+
+        out_path = tmp_path / "compiled.qasm"
+        out_path.write_text("// precious previous result\n")
+
+        def boom(src, dst):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            main([
+                "compile", str(qasm_file), "--workflow", "gridsynth",
+                "--eps", "0.05", "--output", str(out_path),
+            ])
+        monkeypatch.undo()
+        # The interrupted write left the previous file untouched and
+        # cleaned up its temp file.
+        assert out_path.read_text() == "// precious previous result\n"
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "compiled.qasm", "fixture.qasm",
+        ]
+
+
 class TestCompileBatch:
     def _write_fixtures(self, tmp_path, n):
         paths = []

@@ -23,7 +23,6 @@ from repro.experiments.workflows import (
     synthesize_circuit_gridsynth,
     synthesize_circuit_trasyn,
 )
-from repro.linalg import trace_distance
 
 
 @pytest.fixture(scope="module")

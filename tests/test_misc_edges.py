@@ -1,7 +1,6 @@
 """Edge-case coverage: daggers, caching, angle normalization, drawing."""
 
 import math
-import os
 
 import numpy as np
 import pytest

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.circuits import Circuit, rotation_count
+from repro.circuits import Circuit
 from repro.linalg import trace_distance
 from repro.pipeline import (
     CancelInversePairs,

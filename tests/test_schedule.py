@@ -24,7 +24,6 @@ from repro.schedule import (
     insert_idle_markers,
     node_slacks,
     schedule_circuit,
-    schedule_dag,
     with_idle_noise,
 )
 from repro.sim import NoiseModel, evaluate_fidelity

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.circuits import Circuit, t_count
-from repro.linalg import GATES, haar_random_u2, rz, trace_distance, trace_value
+from repro.linalg import rz, trace_distance, trace_value
 from repro.optimizers import fold_phases, kak_decompose, resynthesize
 from repro.sim import (
     DensityMatrixSimulator,

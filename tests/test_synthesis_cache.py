@@ -117,6 +117,33 @@ class TestColdWarmDeterminism:
         assert loaded.stats().misses == 0
         assert loaded.stats().hits > 0
 
+    def test_failed_save_leaves_previous_cache_intact(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        c = _batch_circuits(1)[0]
+        cache = SynthesisCache()
+        compile_circuit(c, workflow="gridsynth", eps=0.02, cache=cache)
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        before = path.read_text()
+
+        cache.put(key_rz(1.234, 0.02), GateSequence(("H", "T", "H"), 0.01))
+
+        def boom(src, dst):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            cache.save(path)
+        monkeypatch.undo()
+        # The previous cache file is byte-identical and still loads;
+        # no temp files were left behind.
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]
+        assert len(SynthesisCache.load(path)) == len(cache) - 1
+
     def test_merge_from_skips_existing(self, tmp_path):
         cache = SynthesisCache()
         cache.put(key_rz(0.5, 0.01), GateSequence(gates=("T",), error=0.0))

@@ -7,7 +7,7 @@ from repro.enumeration import get_table
 from repro.gates.exact import ExactUnitary
 from repro.linalg import GATES, haar_random_u2, rz, trace_distance
 from repro.synthesis import simplify_sequence, synthesize, trasyn
-from repro.synthesis.sequences import GateSequence, matrix_of
+from repro.synthesis.sequences import matrix_of
 from repro.synthesis.trasyn import schedule_for_threshold
 
 

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.circuits import Circuit, rotation_count, t_count
+from repro.circuits import Circuit, rotation_count
 from repro.enumeration import get_table
 from repro.linalg import haar_random_u2, trace_distance
 from repro.synthesis.meet import QuaternionIndex, refine_pairs
@@ -76,7 +76,6 @@ class TestWorkflowInternals:
         assert len(calls) == 1
 
     def test_best_transpile_picks_minimum(self):
-        rng = np.random.default_rng(3)
         c = Circuit(2)
         c.rx(0.4, 1).cx(0, 1).rz(0.7, 1).cx(0, 1)
         best = best_transpile(c, "u3")
