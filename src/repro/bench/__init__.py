@@ -13,6 +13,11 @@ Areas
 ``routing``    ``BENCH_routing.json`` — :mod:`repro.bench.routing_suite`
 ``synthesis``  ``BENCH_synthesis.json`` — :mod:`repro.bench.synthesis_suite`
 ``sim``        ``BENCH_sim.json`` — :mod:`repro.bench.sim_suite`
+``passes``     ``BENCH_passes.json`` — :mod:`repro.bench.passes_suite`
+
+``python -m repro.bench --compare BENCH_sim.json`` re-runs a committed
+report's area at matching sizes and flags entries whose fresh median
+regresses beyond the recorded spread (see :func:`compare_reports`).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro.bench.harness import (
     SCHEMA_VERSION,
     BenchResult,
     BenchSpec,
+    compare_reports,
     report_dict,
     run_spec,
     run_specs,
@@ -36,6 +42,7 @@ __all__ = [
     "AREAS",
     "BenchResult",
     "BenchSpec",
+    "compare_reports",
     "run_area",
     "run_spec",
     "run_specs",
@@ -52,6 +59,8 @@ def _suite(area: str):
         from repro.bench import synthesis_suite as suite
     elif area == "sim":
         from repro.bench import sim_suite as suite
+    elif area == "passes":
+        from repro.bench import passes_suite as suite
     else:
         raise ValueError(
             f"unknown bench area {area!r} (expected one of {AREAS})"
@@ -59,7 +68,7 @@ def _suite(area: str):
     return suite
 
 
-AREAS = ("routing", "synthesis", "sim")
+AREAS = ("routing", "synthesis", "sim", "passes")
 
 #: Default timing discipline; ``--quick`` drops to one cold repeat.
 DEFAULT_WARMUP = 1

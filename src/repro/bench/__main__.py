@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
-from repro.bench import AREAS, run_area
+from repro.bench import AREAS, compare_reports, run_area
+from repro.bench.harness import DEFAULT_COMPARE_TOLERANCE, validate_report
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,11 +46,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-write", action="store_true",
         help="run and print medians without writing report files",
     )
+    parser.add_argument(
+        "--compare", action="append", default=None, metavar="REPORT",
+        help=(
+            "committed BENCH_<area>.json to diff against: re-runs that "
+            "area at the report's sizes (no files written) and flags "
+            "entries regressing beyond the recorded spread; repeatable; "
+            "exits 2 on regression"
+        ),
+    )
+    parser.add_argument(
+        "--compare-tolerance", type=float,
+        default=DEFAULT_COMPARE_TOLERANCE,
+        help=(
+            "fraction a fresh median may exceed the committed max "
+            f"before flagging (default: {DEFAULT_COMPARE_TOLERANCE})"
+        ),
+    )
     return parser
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    """``--compare`` mode: fresh run per committed report, diff, flag."""
+    regressed = False
+    for path in args.compare:
+        with open(path, encoding="utf-8") as fh:
+            committed = json.load(fh)
+        validate_report(committed)
+        area = committed["area"]
+        quick = bool(committed["quick"])
+        print(f"[bench] compare {path}: area={area} quick={quick}")
+        fresh = run_area(
+            area,
+            quick=quick,
+            warmup=args.warmup,
+            repeats=args.repeats,
+            out_dir=None,
+            progress=lambda msg: print(f"[bench]{msg}"),
+        )
+        rows = compare_reports(
+            committed, fresh, tolerance=args.compare_tolerance
+        )
+        for row in rows:
+            if row["fresh_median_s"] is None:
+                print(f"[bench]   {row['name']}: MISSING from fresh run")
+                regressed = True
+                continue
+            flag = "REGRESSED" if row["regressed"] else "ok"
+            print(
+                f"[bench]   {row['name']}: committed "
+                f"{row['committed_median_s']:.4f}s -> fresh "
+                f"{row['fresh_median_s']:.4f}s "
+                f"({row['ratio']:.2f}x) {flag}"
+            )
+            regressed = regressed or row["regressed"]
+    if regressed:
+        print(
+            "[bench] regression beyond recorded spread "
+            f"(tolerance {args.compare_tolerance})"
+        )
+        return 2
+    print("[bench] no regressions beyond recorded spread")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.compare:
+        return _run_compare(args)
     areas = AREAS if args.area == "all" else (args.area,)
     out_dir = None if args.no_write else args.out_dir
     if out_dir is not None:

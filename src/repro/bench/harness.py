@@ -176,6 +176,71 @@ def write_report(path: str, report: dict[str, Any]) -> None:
     atomic_write_json(path, report, indent=2, trailing_newline=True)
 
 
+#: Fresh medians may exceed the committed maximum by this fraction
+#: before counting as a regression (machine and load variance).
+DEFAULT_COMPARE_TOLERANCE = 0.25
+
+
+def compare_reports(
+    committed: dict[str, Any],
+    fresh: dict[str, Any],
+    tolerance: float = DEFAULT_COMPARE_TOLERANCE,
+) -> list[dict[str, Any]]:
+    """Diff a fresh report against a committed baseline, entry by entry.
+
+    An entry regresses when its fresh median exceeds the committed
+    run's *recorded spread* — ``max_s`` — by more than ``tolerance``
+    (so committed noise is not mistaken for a slowdown).  Returns one
+    row per committed benchmark::
+
+        {"name", "committed_median_s", "committed_max_s",
+         "fresh_median_s",  # None when the benchmark vanished
+         "ratio",           # fresh / committed median, None if missing
+         "regressed"}       # bool; a vanished benchmark regresses
+
+    Both reports must cover the same area at the same ``quick`` size,
+    otherwise the medians are not comparable and ``ValueError`` is
+    raised.
+    """
+    validate_report(committed)
+    validate_report(fresh)
+    if committed["area"] != fresh["area"]:
+        raise ValueError(
+            f"area mismatch: committed {committed['area']!r} "
+            f"vs fresh {fresh['area']!r}"
+        )
+    if bool(committed["quick"]) != bool(fresh["quick"]):
+        raise ValueError(
+            "quick-mode mismatch: committed and fresh reports time "
+            "different problem sizes"
+        )
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    fresh_by_name = {e["name"]: e for e in fresh["benchmarks"]}
+    rows = []
+    for entry in committed["benchmarks"]:
+        counterpart = fresh_by_name.get(entry["name"])
+        row = {
+            "name": entry["name"],
+            "committed_median_s": entry["median_s"],
+            "committed_max_s": entry["max_s"],
+            "fresh_median_s": None,
+            "ratio": None,
+            "regressed": True,
+        }
+        if counterpart is not None:
+            fresh_median = counterpart["median_s"]
+            threshold = max(entry["max_s"], entry["median_s"]) * (
+                1.0 + tolerance
+            )
+            row["fresh_median_s"] = fresh_median
+            if entry["median_s"] > 0:
+                row["ratio"] = fresh_median / entry["median_s"]
+            row["regressed"] = fresh_median > threshold
+        rows.append(row)
+    return rows
+
+
 def validate_report(report: Any) -> None:
     """Raise ``ValueError`` unless ``report`` matches ``repro-bench/v1``."""
     if not isinstance(report, dict):

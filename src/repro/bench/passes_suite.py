@@ -1,0 +1,104 @@
+"""Optimizer-pass benchmarks: DAG phase folding at parity width.
+
+Phase folding's cost is dominated by the parity bookkeeping of the CX
+network — wide, CX-heavy circuits grow parity terms toward the variable
+count.  The benchmark pairs the shipped bit-matrix pass
+(:func:`repro.optimizers.dag_passes.fold_phases_dag`) with its
+set-based reference formulation on the same circuit; each entry times
+DAG build + fold (the pass as used) and records the fold-only seconds
+in ``extra`` so :func:`finalize` can derive the accumulation speedup.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.bench.harness import BenchResult, BenchSpec
+
+
+def _parity_heavy_circuit(n_qubits: int, n_gates: int, seed: int):
+    """CX-heavy Clifford+T stream with sparse tracking-breaking gates."""
+    from repro.circuits.circuit import Circuit
+
+    rng = random.Random(seed)
+    c = Circuit(n_qubits)
+    for _ in range(n_gates):
+        r = rng.random()
+        if r < 0.30:
+            c.append(rng.choice(["t", "s", "tdg"]), rng.randrange(n_qubits))
+        elif r < 0.32:
+            c.append("h", rng.randrange(n_qubits))
+        else:
+            a, b = rng.sample(range(n_qubits), 2)
+            c.append("cx", (a, b))
+    return c
+
+
+def _fold_spec(
+    name: str, n_qubits: int, n_gates: int, reference: bool
+) -> BenchSpec:
+    def setup():
+        from repro.circuits.dag import CircuitDAG
+        from repro.optimizers.dag_passes import (
+            fold_phases_dag,
+            fold_phases_dag_reference,
+        )
+
+        circuit = _parity_heavy_circuit(n_qubits, n_gates, seed=17)
+        fold = fold_phases_dag_reference if reference else fold_phases_dag
+
+        def run():
+            # Folding mutates the DAG, so each repeat rebuilds it; the
+            # fold-only time is recorded separately for finalize().
+            dag = CircuitDAG.from_circuit(circuit)
+            t0 = time.perf_counter()
+            folded = fold(dag)
+            return {
+                "fold_s": time.perf_counter() - t0,
+                "gates_folded": folded,
+            }
+
+        return run
+
+    return BenchSpec(
+        name=name,
+        params={
+            "n_qubits": n_qubits,
+            "n_gates": n_gates,
+            "reference": reference,
+            "seed": 17,
+        },
+        setup=setup,
+    )
+
+
+def specs(quick: bool) -> list[BenchSpec]:
+    if quick:
+        return [
+            _fold_spec("dag/fold_phases/24q", 24, 800, reference=False),
+            _fold_spec(
+                "dag/fold_phases/24q/reference", 24, 800, reference=True
+            ),
+        ]
+    return [
+        _fold_spec("dag/fold_phases/96q", 96, 8000, reference=False),
+        _fold_spec(
+            "dag/fold_phases/96q/reference", 96, 8000, reference=True
+        ),
+    ]
+
+
+def finalize(results: list[BenchResult]) -> None:
+    """Derive the parity-accumulation speedup from the paired entries."""
+    by_name = {r.name: r for r in results}
+    for name, result in by_name.items():
+        ref = by_name.get(f"{name}/reference")
+        if ref is None:
+            continue
+        fold_s = result.extra.get("fold_s")
+        ref_fold_s = ref.extra.get("fold_s")
+        if fold_s and ref_fold_s:
+            result.extra["speedup_vs_reference"] = round(
+                ref_fold_s / fold_s, 2
+            )

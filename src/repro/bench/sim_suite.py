@@ -1,10 +1,13 @@
 """Simulation benchmarks: statevector layer application and MPS sweeps.
 
 The statevector benchmarks time the trajectory engine's layered batch
-application — noiseless (pure layer application, where 1q fusion acts)
-and noisy Monte-Carlo trajectories.  The noisy benchmark is paired
-with a ``fuse=False`` baseline so the fusion speedup is recorded as a
-standing number.  The MPS benchmark sweeps a nearest-neighbor circuit
+application — noiseless (pure layer application, where fusion acts)
+and noisy Monte-Carlo trajectories.  Each headline benchmark (compiled
+program, 1q+2q fusion) is paired with an ``/unfused`` baseline
+(compiled, no fusion) and an ``/uncompiled`` baseline (the retained
+interpreting reference path in its PR-6 configuration: 1q fusion only)
+so the fusion and program-compilation speedups are recorded as
+standing numbers.  The MPS benchmark sweeps a nearest-neighbor circuit
 through the bond-truncated engine.
 """
 
@@ -40,17 +43,24 @@ def _statevector_spec(
     trajectories: int,
     noisy: bool,
     fuse: bool,
+    fuse2q: bool = True,
+    compiled: bool = True,
 ) -> BenchSpec:
     def setup():
         from repro.sim.backends.statevector import (
             StatevectorTrajectoryBackend,
         )
         from repro.sim.noise import NoiseModel
+        from repro.sim.program import ProgramCache
 
         circuit = _clifford_t_circuit(n_qubits, n_gates, seed=11)
         noise = NoiseModel.t_gates_only(1e-3) if noisy else None
+        # A private cache so a warm program is part of the fixture (the
+        # steady state of sweeps) without touching the process cache.
         backend = StatevectorTrajectoryBackend(
-            trajectories=trajectories, seed=5, fuse=fuse
+            trajectories=trajectories, seed=5,
+            fuse=fuse, fuse2q=fuse2q, compiled=compiled,
+            program_cache=ProgramCache(),
         )
 
         def run():
@@ -66,6 +76,8 @@ def _statevector_spec(
             "trajectories": trajectories,
             "noise": "t_gates_only(1e-3)" if noisy else None,
             "fuse": fuse,
+            "fuse2q": fuse2q,
+            "compiled": compiled,
             "seed": 11,
         },
         setup=setup,
@@ -107,6 +119,10 @@ def specs(quick: bool) -> list[BenchSpec]:
                 "statevector/trajectories/noisy", 6, 80, 8,
                 noisy=True, fuse=True,
             ),
+            _statevector_spec(
+                "statevector/trajectories/noisy/uncompiled", 6, 80, 8,
+                noisy=True, fuse=True, fuse2q=False, compiled=False,
+            ),
             _mps_spec(8, 80, max_bond=16),
         ]
     return [
@@ -116,7 +132,7 @@ def specs(quick: bool) -> list[BenchSpec]:
         ),
         _statevector_spec(
             "statevector/layers/noiseless/unfused", 12, 400, 1,
-            noisy=False, fuse=False,
+            noisy=False, fuse=False, fuse2q=False,
         ),
         _statevector_spec(
             "statevector/trajectories/noisy", 10, 600, 50,
@@ -124,18 +140,24 @@ def specs(quick: bool) -> list[BenchSpec]:
         ),
         _statevector_spec(
             "statevector/trajectories/noisy/unfused", 10, 600, 50,
-            noisy=True, fuse=False,
+            noisy=True, fuse=False, fuse2q=False,
+        ),
+        _statevector_spec(
+            "statevector/trajectories/noisy/uncompiled", 10, 600, 50,
+            noisy=True, fuse=True, fuse2q=False, compiled=False,
         ),
         _mps_spec(16, 300, max_bond=32),
     ]
 
 
 def finalize(results: list[BenchResult]) -> None:
-    """Record the 1q-fusion speedup from the paired fused/unfused entries.
+    """Record fusion and program-compilation speedups from the pairs.
 
-    Two regimes on purpose: noiseless layers (every 1q gate fuses, the
-    upper bound) and t-noisy trajectories (noisy t/tdg gates fence the
-    fusion chains, the conservative number).
+    ``speedup_vs_unfused`` compares against the compiled-but-unfused
+    entry (fusion's contribution); ``speedup_vs_uncompiled`` against
+    the interpreting reference path in its PR-6 configuration — 1q
+    fusion only, per-chunk channel resolution, every noise outcome
+    applied (the program layer's contribution).
     """
     by_name = {r.name: r for r in results}
     for fused_name in (
@@ -143,9 +165,17 @@ def finalize(results: list[BenchResult]) -> None:
         "statevector/trajectories/noisy",
     ):
         fused = by_name.get(fused_name)
+        if fused is None:
+            continue
         unfused = by_name.get(f"{fused_name}/unfused")
-        if fused is not None and unfused is not None:
+        if unfused is not None:
             fused.extra["speedup_vs_unfused"] = round(
                 unfused.median_s / fused.median_s, 2
             )
             fused.extra["unfused_median_s"] = unfused.median_s
+        uncompiled = by_name.get(f"{fused_name}/uncompiled")
+        if uncompiled is not None:
+            fused.extra["speedup_vs_uncompiled"] = round(
+                uncompiled.median_s / fused.median_s, 2
+            )
+            fused.extra["uncompiled_median_s"] = uncompiled.median_s

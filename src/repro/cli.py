@@ -59,6 +59,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         argv.extend(["--warmup", str(args.warmup)])
     if args.repeats is not None:
         argv.extend(["--repeats", str(args.repeats)])
+    for report in args.compare or ():
+        argv.extend(["--compare", report])
+    if args.compare_tolerance is not None:
+        argv.extend(["--compare-tolerance", str(args.compare_tolerance)])
     return bench_main(argv)
 
 
@@ -289,6 +293,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             return 2
         print(f"noise from target: {target.name or args.target} "
               f"(max rate {noise.rate:g})")
+    fusion = args.fusion
     ev = evaluate_fidelity(
         circuit,
         noise=noise,
@@ -296,6 +301,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         trajectories=args.trajectories,
         max_bond=args.max_bond,
         seed=args.seed,
+        compiled=not args.uncompiled,
+        fuse=fusion != "none",
+        fuse2q=fusion == "2q",
     )
     print(f"qubits           : {ev.n_qubits}")
     print(f"backend          : {ev.backend}")
@@ -484,6 +492,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "(needs a saved Target .json with gate_errors; "
                         "bare topology specs carry no calibration)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--uncompiled", action="store_true",
+                   help="bypass the JIT-compiled simulation program and "
+                        "run the interpreting reference path (bit-identical "
+                        "states, mainly for debugging and benchmarks)")
+    p.add_argument("--fusion", choices=("2q", "1q", "none"), default="2q",
+                   help="gate fusion level for the dense engine: same-pair "
+                        "2q blocks + 1q runs (default), 1q runs only, or "
+                        "off")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("catalog", help="Clifford+T enumeration summary")
@@ -500,7 +516,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the standing perf harness (writes BENCH_<area>.json)",
     )
-    p.add_argument("--area", choices=("routing", "synthesis", "sim", "all"),
+    p.add_argument("--area",
+                   choices=("routing", "synthesis", "sim", "passes", "all"),
                    default="all")
     p.add_argument("--quick", action="store_true",
                    help="smoke mode: small sizes, one unwarmed repeat")
@@ -510,6 +527,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for BENCH_<area>.json (default: cwd)")
     p.add_argument("--no-write", action="store_true",
                    help="print medians without writing report files")
+    p.add_argument("--compare", action="append", default=None,
+                   metavar="REPORT",
+                   help="diff a fresh run against this committed "
+                        "BENCH_<area>.json (repeatable; exits 2 on "
+                        "regression beyond the recorded spread)")
+    p.add_argument("--compare-tolerance", type=float, default=None,
+                   help="fraction a fresh median may exceed the committed "
+                        "max before flagging (default 0.25)")
     p.set_defaults(func=_cmd_bench)
     return parser
 

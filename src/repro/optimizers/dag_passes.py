@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.circuits.circuit import ROTATION_GATES, Circuit, Gate
 from repro.circuits.dag import BOUNDARY, CircuitDAG, DAGNode
 from repro.linalg import zyz_angles
@@ -148,6 +150,10 @@ def merge_rotations(dag: CircuitDAG) -> int:
     return removed
 
 
+#: Gate names :func:`fold_phases_dag` tracks without refreshing wires.
+_FOLD_TRANSPARENT = frozenset({"rz", "cx", "x", "i"})
+
+
 def fold_phases_dag(dag: CircuitDAG) -> int:
     """Parity-tracked phase folding over the DAG (commutation-aware).
 
@@ -158,6 +164,80 @@ def fold_phases_dag(dag: CircuitDAG) -> int:
     break the tracking (H, Y, rx/ry/u3, cz, swap) refresh only their
     own wires — phases keep folding across independent wires.  Returns
     the number of gates eliminated (net of re-emission).
+
+    Parity terms live in a ``(n_qubits, words)`` uint64 bit-matrix —
+    one bit per parity variable, one row per wire — so the CX update is
+    a vectorized row XOR and the fold key is the row's raw bytes,
+    instead of per-gate frozenset unions whose cost grows with the
+    parity width.  :func:`fold_phases_dag_reference` retains the
+    set-based formulation; both fold exactly the same phases.
+    """
+    n = dag.n_qubits
+    nodes = list(dag.topological())
+    # Every tracking-breaking gate mints one fresh variable per wire it
+    # touches; sizing the bit-matrix needs the total upfront.
+    n_vars = n + sum(
+        len(node.gate.qubits)
+        for node in nodes
+        if node.gate.name not in _PHASE_ANGLE
+        and node.gate.name not in _FOLD_TRANSPARENT
+    )
+    words = max(1, (n_vars + 63) >> 6)
+    parity = np.zeros((n, words), dtype=np.uint64)
+    for q in range(n):
+        parity[q, q >> 6] = np.uint64(1) << np.uint64(q & 63)
+    negated = np.zeros(n, dtype=bool)
+    next_var = n
+    # parity row bytes -> [slot node id, accumulated angle, negated, qubit]
+    slots: dict[bytes, list] = {}
+    before = len(dag)
+
+    for node in nodes:
+        name = node.gate.name
+        if name in _PHASE_ANGLE or name == "rz":
+            q = node.gate.qubits[0]
+            theta = _PHASE_ANGLE.get(name)
+            if theta is None:
+                theta = node.gate.params[0] if node.gate.params else 0.0
+            if negated[q]:
+                theta = -theta
+            key = parity[q].tobytes()
+            slot = slots.get(key)
+            if slot is None:
+                slots[key] = [node.id, theta, bool(negated[q]), q]
+            else:
+                slot[1] += theta
+                dag.remove_node(node.id)
+            continue
+        if name == "cx":
+            c, t = node.gate.qubits
+            parity[t] ^= parity[c]
+            negated[t] ^= negated[c]
+            continue
+        if name == "x":
+            q = node.gate.qubits[0]
+            negated[q] = not negated[q]
+            continue
+        if name == "i":
+            continue
+        for q in node.gate.qubits:
+            parity[q] = 0
+            parity[q, next_var >> 6] = np.uint64(1) << np.uint64(next_var & 63)
+            negated[q] = False
+            next_var += 1
+
+    for node_id, angle, negated_at_slot, q in slots.values():
+        emitted = -angle if negated_at_slot else angle
+        dag.substitute_1q(node_id, _emit_phase(emitted, q))
+    return before - len(dag)
+
+
+def fold_phases_dag_reference(dag: CircuitDAG) -> int:
+    """Set-based reference formulation of :func:`fold_phases_dag`.
+
+    Folds exactly the same phases as the bit-matrix pass (parity-set
+    equality is bitmask equality under the shared variable numbering);
+    kept for equivalence testing and as the readable specification.
     """
     n = dag.n_qubits
     next_var = n

@@ -22,6 +22,13 @@ from repro.sim.fidelity import (
     state_infidelity,
 )
 from repro.sim.noise import NoiseModel, canonical_gate_name, depolarizing_kraus
+from repro.sim.program import (
+    ProgramCache,
+    SimProgram,
+    compile_program,
+    default_program_cache,
+    program_key,
+)
 
 __all__ = [
     "DensityMatrixBackend",
@@ -29,13 +36,18 @@ __all__ = [
     "FidelityEvaluation",
     "MPSBackend",
     "NoiseModel",
+    "ProgramCache",
+    "SimProgram",
     "SimulationResult",
     "SimulatorBackend",
     "StatevectorTrajectoryBackend",
     "canonical_gate_name",
+    "compile_program",
+    "default_program_cache",
     "depolarizing_kraus",
     "evaluate_fidelity",
     "process_fidelity_1q",
+    "program_key",
     "select_backend",
     "sequence_process_infidelity",
     "simulate_noisy",

@@ -30,6 +30,7 @@ from repro.sim.backends.statevector import (
     TrajectoryResult,
 )
 from repro.sim.noise import NoiseModel
+from repro.sim.program import ProgramCache
 
 #: Default working-set ceiling for auto-dispatch: 2 GiB.
 DEFAULT_MEMORY_BUDGET = 2**31
@@ -58,15 +59,21 @@ def _make(
     max_bond: int | None,
     seed: int,
     max_workers: int | None,
+    sim_options: dict | None = None,
 ) -> SimulatorBackend:
     if name == "density":
         return DensityMatrixBackend()
+    options = dict(sim_options or {})
     if name == "statevector":
-        kwargs = {"seed": seed, "max_workers": max_workers}
+        kwargs = {"seed": seed, "max_workers": max_workers, **options}
         if trajectories is not None:
             kwargs["trajectories"] = trajectories
         return StatevectorTrajectoryBackend(**kwargs)
-    kwargs = {"seed": seed, "max_workers": max_workers}
+    # The MPS engine understands the program knobs but not the dense
+    # fusion ones (fusion would change its truncation sequence).
+    options.pop("fuse", None)
+    options.pop("fuse2q", None)
+    kwargs = {"seed": seed, "max_workers": max_workers, **options}
     if trajectories is not None:
         kwargs["trajectories"] = trajectories
     if max_bond is not None:
@@ -84,6 +91,10 @@ def select_backend(
     seed: int = 0,
     memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
     max_workers: int | None = None,
+    compiled: bool = True,
+    fuse: bool = True,
+    fuse2q: bool = True,
+    program_cache: ProgramCache | None = None,
 ) -> SimulatorBackend:
     """Choose a simulation engine for a problem shape.
 
@@ -97,14 +108,27 @@ def select_backend(
     Any explicit name (``density`` / ``statevector`` / ``mps``, plus
     common aliases) bypasses the heuristics but still validates the
     qubit count against the engine's own hard limits.
+
+    ``compiled``/``fuse``/``fuse2q`` configure the stochastic engines'
+    JIT program compilation and gate fusion (see
+    :mod:`repro.sim.program`); ``program_cache`` injects a private
+    compiled-program cache in place of the process-wide shared one.
     """
+    sim_options = {
+        "compiled": compiled,
+        "fuse": fuse,
+        "fuse2q": fuse2q,
+        "program_cache": program_cache,
+    }
     canonical = _ALIASES.get(backend, backend)
     if canonical != "auto":
         if canonical not in ("density", "statevector", "mps"):
             raise ValueError(
                 f"unknown backend {backend!r}; pick from {BACKEND_NAMES}"
             )
-        chosen = _make(canonical, trajectories, max_bond, seed, max_workers)
+        chosen = _make(
+            canonical, trajectories, max_bond, seed, max_workers, sim_options
+        )
         if not chosen.supports(n_qubits, is_noisy(noise)):
             raise ValueError(
                 f"backend {canonical!r} cannot simulate {n_qubits} qubits"
@@ -112,7 +136,9 @@ def select_backend(
         return chosen
     noisy = is_noisy(noise)
     density = _make("density", trajectories, max_bond, seed, max_workers)
-    statevec = _make("statevector", trajectories, max_bond, seed, max_workers)
+    statevec = _make(
+        "statevector", trajectories, max_bond, seed, max_workers, sim_options
+    )
     sv_fits = (
         statevec.supports(n_qubits, noisy)
         and statevec.memory_bytes(n_qubits, noisy) <= memory_budget_bytes
@@ -138,6 +164,7 @@ __all__ = [
     "MPSBackend",
     "MPSResult",
     "NoiseModel",
+    "ProgramCache",
     "SimulationResult",
     "SimulatorBackend",
     "StatevectorTrajectoryBackend",

@@ -71,64 +71,166 @@ class Fused1Q:
         return self._matrix
 
 
+class Fused2Q:
+    """A block of same-pair 2q gates and sandwiched 1q runs, as one 4x4.
+
+    ``qubits`` is the sorted pair ``(lo, hi)`` and the matrix lives in
+    that qubit order (first factor = ``lo``), matching how the engines
+    interpret a 2q ``Gate``.  Like :class:`Fused1Q`, fused blocks carry
+    no noise events and are scheduled with position ``-1``.
+    """
+
+    __slots__ = ("name", "qubits", "params", "_matrix")
+
+    def __init__(self, pair: tuple[int, int], matrix: np.ndarray):
+        self.name = "fused2q"
+        self.qubits = pair
+        self.params = ()
+        self._matrix = matrix
+
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+
+_EYE2 = np.eye(2, dtype=complex)
+
+
+def _oriented_2q(gate: Gate) -> tuple[tuple[int, int], np.ndarray]:
+    """A 2q gate's matrix re-expressed on its sorted qubit pair."""
+    a, b = gate.qubits
+    m = gate.matrix()
+    if a < b:
+        return (a, b), m
+    return (b, a), m.reshape(2, 2, 2, 2).transpose(1, 0, 3, 2).reshape(4, 4)
+
+
+def fuse_schedule(
+    schedule: list[list[tuple[int, Gate]]],
+    noise: NoiseModel | None,
+    *,
+    two_qubit: bool = False,
+) -> list[list[tuple[int, Gate]]]:
+    """Fuse runs of noise-free gates into single dense operators.
+
+    With ``two_qubit=False`` this is 1q fusion: consecutive noise-free
+    1q gates per wire collapse into one 2x2 product (the dominant cost
+    of deep Clifford+T streams, where synthesis expands every rotation
+    into long 1q runs); any 2q or noisy gate touching the wire flushes
+    the pending product first, so gate order per wire and the
+    (gate, uniform) noise pairing are unchanged.
+
+    ``two_qubit=True`` additionally collapses adjacent noise-free 2q
+    gates on the *same* qubit pair — plus the noise-free 1q runs
+    sandwiched between them — into single 4x4 operators
+    (:class:`Fused2Q`).  This un-fences exactly the layers where 1q
+    fusion stalls under gate noise: between two noise events the whole
+    entangling block becomes one batched application.  Deferred
+    operators commute with the other-wire gates and noise events that
+    overtake them, because a pending block is flushed right before the
+    first gate (noisy or differently-paired) touching one of its wires.
+    """
+    noisy = is_noisy(noise)
+    pending_1q: dict[int, np.ndarray] = {}
+    pending_2q: dict[tuple[int, int], np.ndarray] = {}
+    wire_pair: dict[int, tuple[int, int]] = {}
+    out: list[list[tuple[int, Gate]]] = []
+
+    def flush(q: int, out_layer: list[tuple[int, Gate]]) -> None:
+        pair = wire_pair.get(q)
+        if pair is not None:
+            out_layer.append((-1, Fused2Q(pair, pending_2q.pop(pair))))
+            for w in pair:
+                del wire_pair[w]
+            return
+        acc = pending_1q.pop(q, None)
+        if acc is not None:
+            out_layer.append((-1, Fused1Q(q, acc)))
+
+    for layer in schedule:
+        out_layer: list[tuple[int, Gate]] = []
+        for pos, gate in layer:
+            gate_noisy = noisy and noise.noisy_qubits(gate)
+            if len(gate.qubits) == 1 and not gate_noisy:
+                q = gate.qubits[0]
+                pair = wire_pair.get(q)
+                if pair is not None:
+                    # Sandwiched 1q gate: fold into the open 4x4 block.
+                    m = gate.matrix()
+                    lift = (
+                        np.kron(m, _EYE2) if q == pair[0]
+                        else np.kron(_EYE2, m)
+                    )
+                    pending_2q[pair] = lift @ pending_2q[pair]
+                else:
+                    acc = pending_1q.get(q)
+                    m = gate.matrix()
+                    pending_1q[q] = m if acc is None else m @ acc
+                continue
+            if two_qubit and len(gate.qubits) == 2 and not gate_noisy:
+                pair, m = _oriented_2q(gate)
+                if wire_pair.get(pair[0]) == pair:
+                    pending_2q[pair] = m @ pending_2q[pair]
+                    continue
+                for q in pair:
+                    if wire_pair.get(q) is not None:
+                        flush(q, out_layer)
+                # Absorb each wire's pending 1q run into the new block.
+                lo1q = pending_1q.pop(pair[0], None)
+                hi1q = pending_1q.pop(pair[1], None)
+                if lo1q is not None or hi1q is not None:
+                    m = m @ np.kron(
+                        _EYE2 if lo1q is None else lo1q,
+                        _EYE2 if hi1q is None else hi1q,
+                    )
+                pending_2q[pair] = m
+                wire_pair[pair[0]] = wire_pair[pair[1]] = pair
+                continue
+            for q in gate.qubits:
+                flush(q, out_layer)
+            out_layer.append((pos, gate))
+        if out_layer:
+            out.append(out_layer)
+    leftovers: list[tuple[int, tuple[int, Gate]]] = [
+        (pair[0], (-1, Fused2Q(pair, m))) for pair, m in pending_2q.items()
+    ]
+    leftovers += [
+        (q, (-1, Fused1Q(q, m))) for q, m in pending_1q.items()
+    ]
+    if leftovers:
+        out.append([entry for _, entry in sorted(
+            leftovers, key=lambda item: item[0]
+        )])
+    return out
+
+
 def fuse_1q_schedule(
     schedule: list[list[tuple[int, Gate]]],
     noise: NoiseModel | None,
 ) -> list[list[tuple[int, Gate]]]:
-    """Fuse runs of consecutive noise-free 1q gates per wire.
-
-    Matrix products replace chains of 2x2 applications on the full
-    state batch — the dominant cost of deep Clifford+T streams, where
-    synthesis expands every rotation into long 1q runs.  A pending
-    product on a wire is flushed (emitted as a :class:`Fused1Q` with
-    position ``-1``) right before the next 2q or noisy gate touching
-    that wire, so gate order per wire and the (gate, uniform) noise
-    pairing are unchanged; deferred 1q products commute with the
-    other-wire gates and noise events that overtake them.
-    """
-    noisy = is_noisy(noise)
-    pending: dict[int, np.ndarray] = {}
-    out: list[list[tuple[int, Gate]]] = []
-    for layer in schedule:
-        out_layer: list[tuple[int, Gate]] = []
-        for pos, gate in layer:
-            if len(gate.qubits) == 1 and not (
-                noisy and noise.noisy_qubits(gate)
-            ):
-                q = gate.qubits[0]
-                acc = pending.get(q)
-                m = gate.matrix()
-                pending[q] = m if acc is None else m @ acc
-                continue
-            for q in gate.qubits:
-                acc = pending.pop(q, None)
-                if acc is not None:
-                    out_layer.append((-1, Fused1Q(q, acc)))
-            out_layer.append((pos, gate))
-        if out_layer:
-            out.append(out_layer)
-    if pending:
-        out.append(
-            [(-1, Fused1Q(q, pending[q])) for q in sorted(pending)]
-        )
-    return out
+    """1q-only fusion (see :func:`fuse_schedule`); kept as the stable name."""
+    return fuse_schedule(schedule, noise, two_qubit=False)
 
 
-def noise_event_offsets(
+def noise_event_layout(
     circuit: Circuit, noise: NoiseModel | None
-) -> list[int]:
-    """Per-gate start index into the pre-drawn uniform event matrix.
+) -> tuple[list[int], int]:
+    """Per-gate uniform-column offsets and the total event count.
 
-    Offsets follow the flat gate order regardless of scheduling, so the
-    (gate, trajectory) → uniform pairing is schedule-invariant.
+    One pass over the gate stream yields both facts every stochastic
+    engine needs: ``offsets[pos]`` is gate ``pos``'s first column in the
+    pre-drawn ``(n_traj, n_events)`` uniform matrix, and the returned
+    total sizes that matrix.  Offsets follow the flat gate order
+    regardless of scheduling, so the (gate, trajectory) → uniform
+    pairing is schedule-invariant.
     """
-    offsets = []
+    offsets: list[int] = []
     event = 0
+    noisy = is_noisy(noise)
     for g in circuit.gates:
         offsets.append(event)
-        if is_noisy(noise):
+        if noisy:
             event += len(noise.noisy_qubits(g))
-    return offsets
+    return offsets, event
 
 
 def reference_statevector(reference, n_qubits: int) -> np.ndarray:

@@ -28,13 +28,15 @@ from repro.sim.backends.base import (
     SimulatorBackend,
     gate_schedule,
     is_noisy,
-    noise_event_offsets,
-)
-from repro.sim.backends.statevector import (
-    DepolarizingChannels,
-    _count_noise_events,
+    noise_event_layout,
 )
 from repro.sim.noise import NoiseModel
+from repro.sim.program import (
+    ProgramCache,
+    SimProgram,
+    channels_for,
+    default_program_cache,
+)
 from repro.tensornet.circuit_mps import CircuitMPS
 
 _DEFAULT_MPS_TRAJECTORIES = 50
@@ -118,6 +120,8 @@ class MPSBackend(SimulatorBackend):
         svd_cutoff: float = 1e-12,
         max_workers: int | None = None,
         layered: bool = False,
+        compiled: bool = True,
+        program_cache: ProgramCache | None = None,
     ):
         if trajectories < 1:
             raise ValueError("need at least one trajectory")
@@ -131,6 +135,14 @@ class MPSBackend(SimulatorBackend):
         # truncation sequence differs from the flat order, so layering
         # is opt-in here (unlike the exact statevector engine).
         self.layered = bool(layered)
+        # Noisy runs drive a JIT-compiled SimProgram (schedule, channel
+        # tables, and event columns resolved once, shared read-only by
+        # every trajectory/worker) instead of re-interpreting the gate
+        # stream per trajectory.  Fusion stays off: collapsing gates
+        # would change the bond-truncation sequence, and the MPS noisy
+        # path must stay bit-identical to the per-gate reference.
+        self.compiled = bool(compiled)
+        self.program_cache = program_cache
 
     def supports(self, n_qubits: int, noisy: bool) -> bool:
         return True  # linear memory: the backend of last resort
@@ -148,6 +160,7 @@ class MPSBackend(SimulatorBackend):
         noise: NoiseModel | None,
         uniforms: np.ndarray,
     ) -> CircuitMPS:
+        """The retained reference path: re-interpret the gate stream."""
         mps = CircuitMPS(
             circuit.n_qubits, max_bond=self.max_bond,
             svd_cutoff=self.svd_cutoff,
@@ -158,8 +171,8 @@ class MPSBackend(SimulatorBackend):
             # router.  Noisy trajectories stay per-gate below: each noise
             # event must land on the qubit's un-permuted site.
             return mps.run(circuit)
-        channels = DepolarizingChannels()
-        offsets = noise_event_offsets(circuit, noise)
+        channels = channels_for(noise)
+        offsets, _ = noise_event_layout(circuit, noise)
         for layer in gate_schedule(circuit, self.layered):
             for _, gate in layer:
                 mps.apply_gate(gate)
@@ -174,6 +187,33 @@ class MPSBackend(SimulatorBackend):
                     )
         return mps
 
+    def _run_one_program(
+        self, program: SimProgram, uniforms: np.ndarray
+    ) -> CircuitMPS:
+        """One noisy trajectory driven by a compiled program.
+
+        Matrices, channel tables, and uniform columns are all
+        precomputed; with fusion off the application sequence matches
+        :meth:`_run_one` operator for operator, so the trajectory —
+        including its truncation sequence — is bit-identical.
+        """
+        mps = CircuitMPS(
+            program.n_qubits, max_bond=self.max_bond,
+            svd_cutoff=self.svd_cutoff,
+        )
+        for ops, events in program.layers:
+            for op in ops:
+                if len(op.qubits) == 1:
+                    mps.apply_1q(op.matrix, op.qubits[0])
+                else:
+                    mps.apply_2q(op.matrix, *op.qubits)
+            for ev in events:
+                self._kraus_event(
+                    mps, ev.kraus, ev.mixture, ev.qubit,
+                    uniforms[ev.column],
+                )
+        return mps
+
     @staticmethod
     def _kraus_event(
         mps: CircuitMPS,
@@ -184,6 +224,8 @@ class MPSBackend(SimulatorBackend):
     ) -> None:
         if mixture is not None:
             i = int(np.searchsorted(mixture.cum, u, side="right"))
+            if i == mixture.identity_index:
+                return  # exact-identity outcome: applying is a no-op
             mps.apply_1q(mixture.unitaries[i], q)
             return
         # General channel: branch probabilities need full norms.
@@ -209,14 +251,26 @@ class MPSBackend(SimulatorBackend):
         self, circuit: Circuit, noise: NoiseModel | None = None
     ) -> MPSResult:
         start = time.monotonic()
-        n_events = _count_noise_events(circuit, noise)
+        _, n_events = noise_event_layout(circuit, noise)
         if n_events == 0:
             states = [self._run_one(circuit, None, np.empty(0))]
         else:
+            program = None
+            if self.compiled:
+                cache = self.program_cache
+                if cache is None:
+                    cache = default_program_cache()
+                program = cache.get(
+                    circuit, noise,
+                    layered=self.layered, fuse=False, fuse2q=False,
+                )
+
             def job(t: int) -> CircuitMPS:
                 uniforms = np.random.default_rng(
                     [self.seed, t]
                 ).random(n_events)
+                if program is not None:
+                    return self._run_one_program(program, uniforms)
                 return self._run_one(circuit, noise, uniforms)
 
             states = map_parallel(

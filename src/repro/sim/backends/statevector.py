@@ -9,15 +9,27 @@ are batched as one stacked ``(n_traj, 2, ..., 2)`` array driven through
 the same BLAS calls — beats the density matrix on wall-clock well below
 it.
 
+Execution is two-phase (``compiled=True``, the default): the circuit,
+noise model, and schedule configuration are JIT-compiled once per run
+into a flat :class:`~repro.sim.program.SimProgram` — precomputed dense
+matrices (including 1q/2q fusion products), resolved channel tables,
+and per-event uniform columns — memoized in a shared
+:class:`~repro.sim.program.ProgramCache` and driven read-only by every
+chunk and worker.  Mixture outcome choices for a whole chunk come from
+one batched ``searchsorted`` per distinct channel, and the identity
+outcome (the overwhelming majority at calibrated rates) is skipped
+outright.  ``compiled=False`` retains the per-chunk interpreting
+reference path; both produce bit-identical trajectory states.
+
 Determinism
 -----------
 Trajectory ``t`` consumes only the uniform stream of
 ``np.random.default_rng([seed, t])``, pre-drawn as one row of a
 ``(n_traj, n_events)`` matrix (the number of noise events per circuit is
 known upfront).  Results are therefore bit-identical regardless of chunk
-size, worker count, or scheduling — the same contract
-:func:`repro.pipeline.compile_batch` makes for compilation, and the
-chunks fan out over the same :func:`repro.pipeline.map_parallel`
+size, worker count, scheduling, or program compilation — the same
+contract :func:`repro.pipeline.compile_batch` makes for compilation, and
+the chunks fan out over the same :func:`repro.pipeline.map_parallel`
 thread-pool machinery.
 
 Channels whose Kraus operators are proportional to unitaries (the
@@ -38,80 +50,110 @@ from repro.sim.backends.base import (
     _ITEMSIZE,
     SimulationResult,
     SimulatorBackend,
-    fuse_1q_schedule,
+    fuse_schedule,
     gate_schedule,
     is_noisy,
-    noise_event_offsets,
+    noise_event_layout,
     reference_statevector,
 )
-from repro.sim.noise import NoiseModel, depolarizing_kraus
+from repro.sim.noise import NoiseModel
+from repro.sim.program import (  # noqa: F401  (re-exported legacy names)
+    DepolarizingChannels,
+    ProgramCache,
+    SimProgram,
+    _as_unitary_mixture,
+    _UnitaryMixture,
+    channels_for,
+    default_program_cache,
+)
 
 _DEFAULT_TRAJECTORIES = 200
 
 
-class _UnitaryMixture:
-    """A Kraus channel of scaled unitaries: sample index, apply unitary."""
-
-    def __init__(self, probs: np.ndarray, unitaries: list[np.ndarray]):
-        self.cum = np.cumsum(probs)
-        self.cum[-1] = 1.0  # guard rounding at the top end
-        self.unitaries = unitaries
-
-
-def _as_unitary_mixture(kraus: list[np.ndarray]) -> _UnitaryMixture | None:
-    """Detect K_i^dag K_i = c_i I and precompute the sampling table."""
-    probs, unitaries = [], []
-    for k in kraus:
-        kdk = k.conj().T @ k
-        c = float(np.real(kdk[0, 0]))
-        if c <= 0 or not np.allclose(kdk, c * np.eye(k.shape[0]), atol=1e-12):
-            return None
-        probs.append(c)
-        unitaries.append(k / np.sqrt(c))
-    probs = np.asarray(probs)
-    if not np.isclose(probs.sum(), 1.0, atol=1e-9):
-        return None  # not trace preserving; use the general path
-    return _UnitaryMixture(probs, unitaries)
-
-
 def _apply_1q_batch(states: np.ndarray, m: np.ndarray, q: int) -> np.ndarray:
-    """Apply a 2x2 operator on qubit ``q`` of a stacked (k, 2, ..., 2)."""
+    """Apply a 2x2 operator on qubit ``q`` of a stacked (k, 2, ..., 2).
+
+    Structured matrices take cheaper routes than the generic BLAS
+    round-trip: diagonal operators (t/s/rz, and the exact-identity
+    Kraus outcome) become one broadcast multiply, anti-diagonal ones
+    (x/y) a flip plus multiply.  Path selection depends only on the
+    matrix and axis geometry — never on the batch size — so chunking
+    and worker count cannot change which kernel (and rounding) a given
+    operator gets; compiled and reference execution share these
+    helpers, which is what keeps their states bit-identical.
+    """
+    axis = 1 + q
+    last = states.ndim - 1
+    if m[0, 1] == 0 and m[1, 0] == 0:
+        if m[0, 0] == 1.0 and m[1, 1] == 1.0:
+            return states  # exact identity: applying is the identity
+        d = np.array([m[0, 0], m[1, 1]])
+        shape = (1,) * axis + (2,) + (1,) * (last - axis)
+        return states * d.reshape(shape)
+    if m[0, 0] == 0 and m[1, 1] == 0 and axis != last:
+        d = np.array([m[0, 1], m[1, 0]])
+        shape = (1,) * axis + (2,) + (1,) * (last - axis)
+        return np.flip(states, axis) * d.reshape(shape)
     out = np.tensordot(m, states, axes=([1], [1 + q]))
     return np.moveaxis(out, 0, 1 + q)
 
 
-def _apply_gate_batch(states: np.ndarray, gate: Gate) -> np.ndarray:
-    m = gate.matrix()
-    if len(gate.qubits) == 1:
-        return _apply_1q_batch(states, m, gate.qubits[0])
-    a, b = gate.qubits
+def _apply_matrix_batch(
+    states: np.ndarray, m: np.ndarray, qubits: tuple[int, ...]
+) -> np.ndarray:
+    """Apply a dense 1q/2q operator — shared by program and reference."""
+    if len(qubits) == 1:
+        return _apply_1q_batch(states, m, qubits[0])
+    a, b = qubits
+    n = states.ndim - 1
+    if b == a + 1 and n - b - 1 >= 4:
+        # Adjacent pair with a wide tail block: one batched matmul on a
+        # reshape view beats tensordot's transpose copies.  The cut-off
+        # uses only (a, b, n) so every chunk takes the same kernel.
+        pre = 1 << a
+        post = 1 << (n - b - 1)
+        v = states.reshape(states.shape[0], pre, 4, post)
+        return np.matmul(m, v).reshape(states.shape)
     m = m.reshape(2, 2, 2, 2)
     out = np.tensordot(m, states, axes=([2, 3], [1 + a, 1 + b]))
     return np.moveaxis(out, (0, 1), (1 + a, 1 + b))
 
 
-def _apply_kraus_mc(
+def _apply_gate_batch(states: np.ndarray, gate: Gate) -> np.ndarray:
+    return _apply_matrix_batch(states, gate.matrix(), gate.qubits)
+
+
+def _apply_mixture_selected(
+    states: np.ndarray,
+    mixture: _UnitaryMixture,
+    choice: np.ndarray,
+    q: int,
+) -> np.ndarray:
+    """Apply each non-identity outcome to the trajectories that drew it.
+
+    The identity outcome — the overwhelming majority at calibrated
+    rates — is skipped entirely; its unitary is exact (see
+    :func:`repro.sim.program._as_unitary_mixture`), so skipping equals
+    applying, value for value.
+    """
+    for i, u in enumerate(mixture.unitaries):
+        if i == mixture.identity_index:
+            continue
+        rows = np.nonzero(choice == i)[0]
+        if rows.size == 0:
+            continue
+        states[rows] = _apply_1q_batch(states[rows], u, q)
+    return states
+
+
+def _apply_kraus_general(
     states: np.ndarray,
     kraus: list[np.ndarray],
-    mixture: _UnitaryMixture | None,
     q: int,
     uniforms: np.ndarray,
 ) -> np.ndarray:
-    """One Monte-Carlo Kraus event on qubit ``q`` for every trajectory.
-
-    ``uniforms`` holds one pre-drawn uniform per trajectory; the state
-    batch is mutated out-of-place and returned.
-    """
-    if mixture is not None:
-        choice = np.searchsorted(mixture.cum, uniforms, side="right")
-        for i, u in enumerate(mixture.unitaries):
-            rows = np.nonzero(choice == i)[0]
-            if rows.size == 0:
-                continue
-            states[rows] = _apply_1q_batch(states[rows], u, q)
-        return states
-    # General channel: norms are state-dependent, so evaluate every
-    # candidate branch and select per trajectory.
+    """General channel: norms are state-dependent, so evaluate every
+    candidate branch and select per trajectory."""
     k = states.shape[0]
     candidates = [_apply_1q_batch(states, op, q) for op in kraus]
     flat = [c.reshape(k, -1) for c in candidates]
@@ -131,32 +173,30 @@ def _apply_kraus_mc(
     return out.reshape(states.shape)
 
 
-def _count_noise_events(
-    circuit: Circuit, noise: NoiseModel | None
-) -> int:
-    if not is_noisy(noise):
-        return 0
-    return sum(len(noise.noisy_qubits(g)) for g in circuit.gates)
+def _apply_kraus_mc(
+    states: np.ndarray,
+    kraus: list[np.ndarray],
+    mixture: _UnitaryMixture | None,
+    q: int,
+    uniforms: np.ndarray,
+) -> np.ndarray:
+    """One Monte-Carlo Kraus event on qubit ``q`` for every trajectory.
 
-
-class DepolarizingChannels:
-    """Per-rate cache of (kraus, mixture) pairs for heterogeneous noise.
-
-    Uniform models hit one entry; target-derived models
-    (:meth:`NoiseModel.from_target`) have one entry per distinct
-    calibrated rate.  Shared by the statevector and MPS engines.
+    The reference (un-compiled) event path: one ``searchsorted`` per
+    event, every outcome applied — including the identity, whose exact
+    unitary makes the result value-identical to the compiled path's
+    identity skip.  ``uniforms`` holds one pre-drawn uniform per
+    trajectory; the state batch is mutated out-of-place and returned.
     """
-
-    def __init__(self):
-        self._by_rate: dict[float, tuple] = {}
-
-    def get(self, rate: float) -> tuple:
-        entry = self._by_rate.get(rate)
-        if entry is None:
-            kraus = depolarizing_kraus(rate)
-            entry = (kraus, _as_unitary_mixture(kraus))
-            self._by_rate[rate] = entry
-        return entry
+    if mixture is not None:
+        choice = np.searchsorted(mixture.cum, uniforms, side="right")
+        for i, u in enumerate(mixture.unitaries):
+            rows = np.nonzero(choice == i)[0]
+            if rows.size == 0:
+                continue
+            states[rows] = _apply_1q_batch(states[rows], u, q)
+        return states
+    return _apply_kraus_general(states, kraus, q, uniforms)
 
 
 class TrajectoryResult(SimulationResult):
@@ -214,6 +254,9 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
         max_workers: int | None = None,
         layered: bool = True,
         fuse: bool = True,
+        fuse2q: bool = True,
+        compiled: bool = True,
+        program_cache: ProgramCache | None = None,
     ):
         if trajectories < 1:
             raise ValueError("need at least one trajectory")
@@ -228,8 +271,15 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
         # sequential stream for any chunking or worker count.
         self.layered = bool(layered)
         # Fuse runs of noise-free 1q gates per wire into single 2x2
-        # products before driving the state batch (fuse_1q_schedule).
+        # matrices; ``fuse2q`` additionally collapses same-pair 2q
+        # blocks (and sandwiched 1q runs) into 4x4 operators.
         self.fuse = bool(fuse)
+        self.fuse2q = bool(fuse2q)
+        # JIT-compile (circuit, noise, config) into a SimProgram once
+        # per run, memoized across runs; False retains the per-chunk
+        # interpreting reference path (bit-identical states).
+        self.compiled = bool(compiled)
+        self.program_cache = program_cache
 
     def supports(self, n_qubits: int, noisy: bool) -> bool:
         return n_qubits <= self.max_qubits
@@ -244,6 +294,46 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
         return _ITEMSIZE * 2**n_qubits * width
 
     # -- execution ---------------------------------------------------------
+    def _program_for(
+        self, circuit: Circuit, noise: NoiseModel | None
+    ) -> SimProgram:
+        cache = self.program_cache
+        if cache is None:
+            cache = default_program_cache()
+        return cache.get(
+            circuit, noise,
+            layered=self.layered, fuse=self.fuse, fuse2q=self.fuse2q,
+        )
+
+    def _run_chunk_program(
+        self, program: SimProgram, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """Drive one chunk of trajectories through a compiled program.
+
+        Every operator matrix and channel table is precomputed; the
+        chunk's mixture outcomes come from one batched ``searchsorted``
+        per distinct channel (:meth:`SimProgram.sample_choices`) and
+        identity outcomes are skipped.
+        """
+        k = uniforms.shape[0]
+        n = program.n_qubits
+        states = np.zeros((k,) + (2,) * n, dtype=complex)
+        states[(slice(None),) + (0,) * n] = 1.0
+        choices = program.sample_choices(uniforms)
+        for ops, events in program.layers:
+            for op in ops:
+                states = _apply_matrix_batch(states, op.matrix, op.qubits)
+            for ev in events:
+                if ev.mixture is not None:
+                    states = _apply_mixture_selected(
+                        states, ev.mixture, choices[:, ev.column], ev.qubit
+                    )
+                else:
+                    states = _apply_kraus_general(
+                        states, ev.kraus, ev.qubit, uniforms[:, ev.column]
+                    )
+        return states.reshape(k, -1)
+
     def _run_chunk(
         self,
         schedule: list[list[tuple[int, Gate]]],
@@ -252,26 +342,26 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
         noise: NoiseModel | None,
         uniforms: np.ndarray,
     ) -> np.ndarray:
-        """Drive ``uniforms.shape[0]`` trajectories as one stacked array.
+        """The retained reference path: re-interpret the gate stream.
 
-        ``schedule`` is the (possibly layer-batched) gate stream from
-        :func:`gate_schedule`; each layer's gates are applied back to
-        back and the layer's noise events follow in flat-list order —
-        gates within a layer act on disjoint qubits, so this equals the
-        sequential stream.  ``offsets[pos]`` indexes the uniform column
-        of gate ``pos``'s first noise event.
+        ``schedule`` is the (possibly layer-batched, possibly fused)
+        gate stream from :func:`gate_schedule`; each layer's gates are
+        applied back to back and the layer's noise events follow in
+        flat-list order — gates within a layer act on disjoint qubits,
+        so this equals the sequential stream.  ``offsets[pos]`` indexes
+        the uniform column of gate ``pos``'s first noise event.
         """
         k = uniforms.shape[0]
         states = np.zeros((k,) + (2,) * n, dtype=complex)
         states[(slice(None),) + (0,) * n] = 1.0
-        channels = DepolarizingChannels() if is_noisy(noise) else None
+        channels = channels_for(noise) if is_noisy(noise) else None
         for layer in schedule:
             for _, gate in layer:
                 states = _apply_gate_batch(states, gate)
             if channels is not None:
                 for pos, gate in layer:
                     if pos < 0:
-                        continue  # fused 1q run: carries no noise events
+                        continue  # fused operators carry no noise events
                     qubits = noise.noisy_qubits(gate)
                     if not qubits:
                         continue
@@ -292,19 +382,32 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
                 f"refused (limit {self.max_qubits})"
             )
         start = time.monotonic()
-        # The schedule and event offsets are computed once per run and
-        # shared by every chunk/worker.
-        schedule = gate_schedule(circuit, self.layered)
-        if self.fuse:
-            schedule = fuse_1q_schedule(schedule, noise)
-        event_offsets = noise_event_offsets(circuit, noise)
-        n_events = _count_noise_events(circuit, noise)
+        if self.compiled:
+            # Compiled once per (circuit, noise, config) — and memoized
+            # across runs — then shared read-only by every chunk/worker.
+            program = self._program_for(circuit, noise)
+            n_events = program.n_events
+
+            def run_chunk(rows: np.ndarray) -> np.ndarray:
+                return self._run_chunk_program(program, rows)
+        else:
+            # Reference path: schedule and event offsets are still
+            # computed once per run and shared by every chunk/worker.
+            schedule = gate_schedule(circuit, self.layered)
+            if self.fuse:
+                schedule = fuse_schedule(
+                    schedule, noise, two_qubit=self.fuse2q
+                )
+            event_offsets, n_events = noise_event_layout(circuit, noise)
+
+            def run_chunk(rows: np.ndarray) -> np.ndarray:
+                return self._run_chunk(
+                    schedule, event_offsets, circuit.n_qubits, noise, rows
+                )
+
         if n_events == 0:
             # Deterministic evolution: every trajectory is identical.
-            states = self._run_chunk(
-                schedule, event_offsets, circuit.n_qubits, None,
-                np.empty((1, 0)),
-            )
+            states = run_chunk(np.empty((1, 0)))
             return TrajectoryResult(
                 states, circuit.n_qubits, self.seed,
                 time.monotonic() - start,
@@ -326,9 +429,7 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
 
         def job(lo: int) -> None:
             rows = uniforms[lo : lo + self.chunk_size]
-            states[lo : lo + rows.shape[0]] = self._run_chunk(
-                schedule, event_offsets, circuit.n_qubits, noise, rows
-            )
+            states[lo : lo + rows.shape[0]] = run_chunk(rows)
 
         map_parallel(job, offsets, self.max_workers)
         return TrajectoryResult(

@@ -75,6 +75,10 @@ def evaluate_fidelity(
     seed: int = 0,
     max_workers: int | None = None,
     reference_state=None,
+    compiled: bool = True,
+    fuse: bool = True,
+    fuse2q: bool = True,
+    program_cache=None,
 ) -> FidelityEvaluation:
     """Fidelity of ``circuit`` (under ``noise``) against ``reference``.
 
@@ -88,6 +92,10 @@ def evaluate_fidelity(
     ``reference_state`` (dense vector or ``CircuitMPS``) is supplied —
     callers scoring many circuits against one ideal state should
     precompute it once.
+
+    ``compiled``/``fuse``/``fuse2q``/``program_cache`` configure the
+    stochastic engines' JIT program compilation (see
+    :mod:`repro.sim.program`); the defaults give the fast path.
     """
     if reference is None:
         reference = circuit
@@ -101,6 +109,10 @@ def evaluate_fidelity(
         max_bond=max_bond,
         seed=seed,
         max_workers=max_workers,
+        compiled=compiled,
+        fuse=fuse,
+        fuse2q=fuse2q,
+        program_cache=program_cache,
     )
     ref_state = reference_state
     if ref_state is None:

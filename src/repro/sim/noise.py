@@ -69,6 +69,11 @@ class NoiseModel:
     #: Per-undirected-edge 2q rates overriding the name table, as from
     #: a target's ``edge_errors`` calibration.  Keys ``(min, max)``.
     edge_rates: dict[tuple[int, int], float] | None = None
+    #: Optional channel factory ``rate -> [Kraus operators]`` replacing
+    #: the default depolarizing channel — e.g. amplitude damping.  The
+    #: factory's identity participates in the compiled-program cache
+    #: key, so two models sharing one factory share channel tables.
+    kraus: Callable[[float], list[np.ndarray]] | None = None
 
     def rate_for(self, gate: Gate) -> float:
         """The depolarizing rate following this particular gate."""

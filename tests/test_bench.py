@@ -8,6 +8,7 @@ from repro.bench import (
     AREAS,
     SCHEMA_VERSION,
     BenchSpec,
+    compare_reports,
     report_dict,
     run_area,
     run_spec,
@@ -120,6 +121,96 @@ class TestQuickSuites:
         assert "speedup_vs_reference" not in vec["extra"] or (
             vec["extra"]["speedup_vs_reference"] > 0
         )
+
+
+def _report(area="sim", quick=True, medians=None):
+    benchmarks = []
+    for name, median in (medians or {"demo": 0.1}).items():
+        spec, _ = _counting_spec(name=name)
+        entry = run_spec(spec, warmup=0, repeats=1).as_dict()
+        entry["median_s"] = median
+        entry["min_s"] = median * 0.9
+        entry["max_s"] = median * 1.1
+        benchmarks.append(entry)
+    report = report_dict(area, [], quick, 0, 1)
+    report["benchmarks"] = benchmarks
+    return report
+
+
+class TestCompareReports:
+    def test_within_spread_is_ok(self):
+        committed = _report(medians={"a": 0.10})
+        fresh = _report(medians={"a": 0.12})
+        rows = compare_reports(committed, fresh, tolerance=0.25)
+        assert rows == [
+            {
+                "name": "a",
+                "committed_median_s": 0.10,
+                "committed_max_s": committed["benchmarks"][0]["max_s"],
+                "fresh_median_s": 0.12,
+                "ratio": pytest.approx(1.2),
+                "regressed": False,
+            }
+        ]
+
+    def test_regression_beyond_spread_flagged(self):
+        # Threshold is max(committed max, median) * (1 + tolerance):
+        # 0.11 * 1.25 = 0.1375, so 0.14 regresses and 0.13 does not.
+        committed = _report(medians={"a": 0.10})
+        ok = compare_reports(
+            committed, _report(medians={"a": 0.13}), tolerance=0.25
+        )
+        bad = compare_reports(
+            committed, _report(medians={"a": 0.14}), tolerance=0.25
+        )
+        assert ok[0]["regressed"] is False
+        assert bad[0]["regressed"] is True
+
+    def test_missing_benchmark_regresses(self):
+        committed = _report(medians={"a": 0.1, "b": 0.1})
+        fresh = _report(medians={"a": 0.1})
+        rows = {r["name"]: r for r in compare_reports(committed, fresh)}
+        assert rows["b"]["fresh_median_s"] is None
+        assert rows["b"]["regressed"] is True
+
+    def test_area_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="area"):
+            compare_reports(_report(area="sim"), _report(area="routing"))
+
+    def test_quick_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="quick"):
+            compare_reports(_report(quick=True), _report(quick=False))
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_reports(_report(), _report(), tolerance=-0.1)
+
+
+class TestCompareCLI:
+    def _committed_report(self, tmp_path):
+        report = run_area("sim", quick=True, out_dir=str(tmp_path))
+        return tmp_path / "BENCH_sim.json", report
+
+    def test_compare_clean_run_passes(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        path, _ = self._committed_report(tmp_path)
+        assert main(["--compare", str(path)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_flags_tampered_baseline(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        path, report = self._committed_report(tmp_path)
+        # Shrink the committed timings to absurdly fast values so the
+        # fresh run necessarily regresses past any real spread.
+        for entry in report["benchmarks"]:
+            entry["median_s"] = 1e-9
+            entry["min_s"] = 1e-9
+            entry["max_s"] = 1e-9
+        path.write_text(json.dumps(report))
+        assert main(["--compare", str(path)]) == 2
+        assert "REGRESSED" in capsys.readouterr().out
 
 
 class TestCLI:

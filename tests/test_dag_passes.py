@@ -61,6 +61,25 @@ class TestPassSoundness:
         assert _dist(c, dag.to_circuit()) < 1e-6
 
     @given(st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_fold_phases_dag_matches_reference(self, seed):
+        # The bit-matrix parity tracker must make the exact decisions
+        # the retained set-based reference makes: same surviving gate
+        # stream, same number of folded-away phase gates.
+        from repro.optimizers.dag_passes import fold_phases_dag_reference
+
+        c = _random_circuit(seed, max_gates=40)
+        vec_dag = CircuitDAG.from_circuit(c)
+        ref_dag = CircuitDAG.from_circuit(c)
+        fold_phases_dag(vec_dag)
+        fold_phases_dag_reference(ref_dag)
+        vec = [(g.name, g.qubits, g.params)
+               for g in vec_dag.to_circuit().gates]
+        ref = [(g.name, g.qubits, g.params)
+               for g in ref_dag.to_circuit().gates]
+        assert vec == ref
+
+    @given(st.integers(0, 1000))
     @settings(max_examples=30, deadline=None)
     def test_optimize_circuit(self, seed):
         c = _random_circuit(seed, max_gates=30)

@@ -1,0 +1,271 @@
+"""JIT-compiled simulation programs: identity, caching, determinism.
+
+The contract under test: the compiled program path (and every fusion
+level on top of it) produces **byte-identical** trajectory states to
+the retained interpreting reference path, for mixture and general-Kraus
+channels alike, regardless of chunk size or worker count — while the
+program cache memoizes by content and the batched choice sampling
+matches per-event sampling element for element.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.sim import evaluate_fidelity
+from repro.sim.backends import select_backend
+from repro.sim.backends.mps_backend import MPSBackend
+from repro.sim.backends.statevector import StatevectorTrajectoryBackend
+from repro.sim.noise import NoiseModel
+from repro.sim.program import (
+    ProgramCache,
+    compile_program,
+    default_program_cache,
+    program_key,
+)
+
+
+def _clifford_t_circuit(n_qubits, n_gates, seed):
+    rng = random.Random(seed)
+    c = Circuit(n_qubits)
+    for _ in range(n_gates):
+        if rng.random() < 0.8:
+            c.append(
+                rng.choice(["h", "t", "s", "tdg", "x"]),
+                rng.randrange(n_qubits),
+            )
+        else:
+            a = rng.randrange(n_qubits - 1)
+            c.append("cx", (a, a + 1))
+    return c
+
+
+def _amplitude_damping(rate):
+    """A non-unitary-mixture channel exercising the general Kraus path."""
+    return [
+        np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - rate)]], dtype=complex),
+        np.array([[0.0, np.sqrt(rate)], [0.0, 0.0]], dtype=complex),
+    ]
+
+
+def _amp_damping_model(rate):
+    return NoiseModel(
+        rate,
+        lambda g: g.name in ("t", "tdg"),
+        kraus=_amplitude_damping,
+    )
+
+
+def _sv(circuit, noise, *, compiled, fuse=True, fuse2q=True, **kw):
+    return StatevectorTrajectoryBackend(
+        trajectories=kw.pop("trajectories", 12),
+        seed=kw.pop("seed", 7),
+        compiled=compiled,
+        fuse=fuse,
+        fuse2q=fuse2q,
+        program_cache=ProgramCache(),
+        **kw,
+    ).run(circuit, noise)
+
+
+class TestByteIdentity:
+    """Compiled states equal the reference path's, byte for byte."""
+
+    @pytest.mark.parametrize(
+        "fuse,fuse2q", [(False, False), (True, False), (True, True)]
+    )
+    @pytest.mark.parametrize(
+        "noise_factory",
+        [
+            lambda: NoiseModel.t_gates_only(1e-2),
+            lambda: NoiseModel.non_pauli_gates(5e-3),
+            lambda: _amp_damping_model(0.05),
+        ],
+        ids=["mixture-t", "mixture-nonpauli", "general-kraus"],
+    )
+    def test_compiled_matches_reference(self, fuse, fuse2q, noise_factory):
+        circuit = _clifford_t_circuit(6, 120, seed=3)
+        noise = noise_factory()
+        compiled = _sv(circuit, noise, compiled=True, fuse=fuse,
+                       fuse2q=fuse2q)
+        reference = _sv(circuit, noise, compiled=False, fuse=fuse,
+                        fuse2q=fuse2q)
+        assert np.array_equal(compiled.states, reference.states)
+
+    def test_noiseless_compiled_matches_reference(self):
+        circuit = _clifford_t_circuit(7, 90, seed=5)
+        compiled = _sv(circuit, None, compiled=True, trajectories=1)
+        reference = _sv(circuit, None, compiled=False, trajectories=1)
+        assert np.array_equal(compiled.states, reference.states)
+
+    def test_fused_2q_preserves_the_state(self):
+        # Fusion reorders float products, so exact equality is not the
+        # contract across fusion levels — closeness to the unfused
+        # gate-by-gate state is.
+        circuit = _clifford_t_circuit(6, 150, seed=11)
+        fused = _sv(circuit, None, compiled=True, trajectories=1)
+        plain = _sv(circuit, None, compiled=True, trajectories=1,
+                    fuse=False, fuse2q=False)
+        assert np.allclose(fused.states[0], plain.states[0], atol=1e-10)
+
+    def test_mps_compiled_matches_reference(self):
+        circuit = _clifford_t_circuit(6, 100, seed=9)
+        noise = NoiseModel.t_gates_only(1e-2)
+        kwargs = dict(trajectories=4, seed=7, max_bond=16)
+        a = MPSBackend(compiled=True, program_cache=ProgramCache(),
+                       **kwargs).run(circuit, noise)
+        b = MPSBackend(compiled=False, program_cache=ProgramCache(),
+                       **kwargs).run(circuit, noise)
+        assert a.truncation_error == b.truncation_error
+        for ta, tb in zip(a.trajectories, b.trajectories):
+            assert np.array_equal(ta.to_statevector(), tb.to_statevector())
+
+
+class TestDeterminism:
+    """Chunking, workers, and compilation cannot change the states."""
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_chunk_size_invariance(self, compiled):
+        circuit = _clifford_t_circuit(6, 120, seed=3)
+        noise = NoiseModel.t_gates_only(1e-2)
+        small = _sv(circuit, noise, compiled=compiled, trajectories=16,
+                    chunk_size=3)
+        large = _sv(circuit, noise, compiled=compiled, trajectories=16,
+                    chunk_size=64)
+        assert np.array_equal(small.states, large.states)
+
+    def test_worker_count_invariance(self):
+        circuit = _clifford_t_circuit(6, 120, seed=3)
+        noise = NoiseModel.non_pauli_gates(2e-3)
+        serial = _sv(circuit, noise, compiled=True, trajectories=16,
+                     chunk_size=4, max_workers=1)
+        parallel = _sv(circuit, noise, compiled=True, trajectories=16,
+                       chunk_size=4, max_workers=4)
+        assert np.array_equal(serial.states, parallel.states)
+
+    def test_batched_choice_sampling_matches_per_event(self):
+        circuit = _clifford_t_circuit(6, 120, seed=3)
+        noise = NoiseModel.t_gates_only(1e-2)
+        program = compile_program(circuit, noise)
+        uniforms = np.random.default_rng(0).random((8, program.n_events))
+        choices = program.sample_choices(uniforms)
+        for _, events in program.layers:
+            for ev in events:
+                expected = np.searchsorted(
+                    ev.mixture.cum, uniforms[:, ev.column], side="right"
+                )
+                assert np.array_equal(choices[:, ev.column], expected)
+
+
+class TestProgramCache:
+    def test_hit_and_miss_counters(self):
+        circuit = _clifford_t_circuit(5, 60, seed=1)
+        noise = NoiseModel.t_gates_only(1e-3)
+        cache = ProgramCache()
+        first = cache.get(circuit, noise)
+        second = cache.get(circuit, noise)
+        assert first is second
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "entries": 1, "maxsize": 64,
+        }
+
+    def test_content_key_spans_equivalent_model_objects(self):
+        # Two distinct model objects with identical resolved behavior
+        # share a program; a rate tweak cannot hide behind object reuse.
+        circuit = _clifford_t_circuit(5, 60, seed=1)
+        key_a = program_key(circuit, NoiseModel.t_gates_only(1e-3),
+                            layered=True, fuse=True, fuse2q=True)
+        key_b = program_key(circuit, NoiseModel.t_gates_only(1e-3),
+                            layered=True, fuse=True, fuse2q=True)
+        key_c = program_key(circuit, NoiseModel.t_gates_only(2e-3),
+                            layered=True, fuse=True, fuse2q=True)
+        assert key_a == key_b
+        assert key_a != key_c
+
+    def test_config_participates_in_the_key(self):
+        circuit = _clifford_t_circuit(5, 60, seed=1)
+        noise = NoiseModel.t_gates_only(1e-3)
+        cache = ProgramCache()
+        cache.get(circuit, noise, fuse2q=True)
+        cache.get(circuit, noise, fuse2q=False)
+        assert cache.stats()["misses"] == 2
+
+    def test_lru_eviction(self):
+        cache = ProgramCache(maxsize=2)
+        circuits = [_clifford_t_circuit(4, 30, seed=s) for s in range(3)]
+        for c in circuits:
+            cache.get(c, None)
+        assert len(cache) == 2
+        cache.get(circuits[0], None)  # evicted earlier -> recompiles
+        assert cache.stats()["misses"] == 4
+
+    def test_rejects_empty_cache(self):
+        with pytest.raises(ValueError):
+            ProgramCache(maxsize=0)
+
+    def test_backend_reuses_program_across_runs(self):
+        circuit = _clifford_t_circuit(5, 60, seed=1)
+        noise = NoiseModel.t_gates_only(1e-2)
+        cache = ProgramCache()
+        backend = StatevectorTrajectoryBackend(
+            trajectories=8, seed=7, program_cache=cache
+        )
+        first = backend.run(circuit, noise)
+        second = backend.run(circuit, noise)
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 1
+        assert np.array_equal(first.states, second.states)
+
+    def test_default_cache_is_shared(self):
+        assert default_program_cache() is default_program_cache()
+
+
+class TestProgramStructure:
+    def test_fusion_shrinks_the_op_stream(self):
+        circuit = _clifford_t_circuit(8, 300, seed=2)
+        noise = NoiseModel.t_gates_only(1e-3)
+        plain = compile_program(circuit, noise, fuse=False)
+        fused1q = compile_program(circuit, noise, fuse=True, fuse2q=False)
+        fused2q = compile_program(circuit, noise, fuse=True, fuse2q=True)
+        assert plain.n_ops == len(circuit.gates)
+        assert fused2q.n_ops < fused1q.n_ops < plain.n_ops
+        assert plain.n_events == fused1q.n_events == fused2q.n_events
+
+    def test_noiseless_program_has_no_events(self):
+        circuit = _clifford_t_circuit(5, 40, seed=2)
+        program = compile_program(circuit, None)
+        assert program.n_events == 0
+        assert program.sample_choices(np.empty((1, 0))) is None
+
+
+class TestThreading:
+    """The program knobs flow through select_backend and evaluate."""
+
+    def test_select_backend_passes_program_options(self):
+        noise = NoiseModel.t_gates_only(1e-3)
+        cache = ProgramCache()
+        backend = select_backend(
+            6, noise, backend="statevector", trajectories=8,
+            compiled=False, fuse2q=False, program_cache=cache,
+        )
+        assert backend.compiled is False
+        assert backend.fuse2q is False
+        assert backend.program_cache is cache
+        mps = select_backend(
+            6, noise, backend="mps", trajectories=4, program_cache=cache,
+        )
+        assert mps.compiled is True
+        assert mps.program_cache is cache
+
+    def test_evaluate_fidelity_identical_across_paths(self):
+        circuit = _clifford_t_circuit(6, 80, seed=4)
+        noise = NoiseModel.t_gates_only(1e-2)
+        kwargs = dict(
+            noise=noise, backend="statevector", trajectories=8, seed=7,
+            program_cache=ProgramCache(),
+        )
+        fast = evaluate_fidelity(circuit, compiled=True, **kwargs)
+        slow = evaluate_fidelity(circuit, compiled=False, **kwargs)
+        assert fast.fidelity == slow.fidelity
