@@ -14,6 +14,7 @@ Areas
 ``synthesis``  ``BENCH_synthesis.json`` — :mod:`repro.bench.synthesis_suite`
 ``sim``        ``BENCH_sim.json`` — :mod:`repro.bench.sim_suite`
 ``passes``     ``BENCH_passes.json`` — :mod:`repro.bench.passes_suite`
+``cache``      ``BENCH_cache.json`` — :mod:`repro.bench.cache_suite`
 
 ``python -m repro.bench --compare BENCH_sim.json`` re-runs a committed
 report's area at matching sizes and flags entries whose fresh median
@@ -61,6 +62,8 @@ def _suite(area: str):
         from repro.bench import sim_suite as suite
     elif area == "passes":
         from repro.bench import passes_suite as suite
+    elif area == "cache":
+        from repro.bench import cache_suite as suite
     else:
         raise ValueError(
             f"unknown bench area {area!r} (expected one of {AREAS})"
@@ -68,7 +71,7 @@ def _suite(area: str):
     return suite
 
 
-AREAS = ("routing", "synthesis", "sim", "passes")
+AREAS = ("routing", "synthesis", "sim", "passes", "cache")
 
 #: Default timing discipline; ``--quick`` drops to one cold repeat.
 DEFAULT_WARMUP = 1

@@ -1,0 +1,250 @@
+"""Synthesis-cache benchmarks: tiers, process pools, and cold starts.
+
+Times :func:`repro.pipeline.compile_batch` over a synthesis-heavy batch
+in the regimes the two-tier cache design distinguishes:
+
+* ``cold/serial`` / ``cold/thread-N`` / ``cold/process-N`` — every
+  rotation must be synthesized.  gridsynth is pure-Python CPU-bound
+  work, so threads cannot exceed one core of miss throughput; the
+  process pool is the path that scales with cores.  On a single-core
+  host the pool only adds overhead — ``host_cpus`` is recorded so the
+  committed numbers are read in context (the >=3x pool speedup target
+  applies at >=8 cores).
+* ``warm/memory`` — the L1 upper bound: every key hits the in-memory
+  LRU.
+* ``cold_start/warm_segments`` — a *fresh* process (fresh LRU, fresh
+  store handle) over segments precompiled by
+  :func:`repro.pipeline.warm.warm_rz_catalog`; the ROADMAP target is
+  staying within ~2x of ``warm/memory``.
+
+The batch is compiled at optimization level 0 so the lowering keeps
+every Rz angle verbatim (higher levels re-derive angles through
+merge_1q_runs' ZYZ decomposition) — the angle grid the precompiler
+warmed is then exactly the grid the compile requests, and the timings
+isolate cache behaviour from pass behaviour.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from repro.bench.harness import BenchResult, BenchSpec
+
+_N_CIRCUITS = {False: 8, True: 4}
+_N_ANGLES = {False: 16, True: 6}
+_EPS = {False: 1e-3, True: 1e-2}
+#: Pool width for the thread/process entries.  8 is the acceptance
+#: point for the pool-vs-thread comparison on multi-core hosts.
+_POOL_WORKERS = {False: 8, True: 2}
+
+_OPT_LEVEL = 0
+
+
+def _angles(quick: bool) -> list[float]:
+    from repro.pipeline.warm import catalog_angles
+
+    return catalog_angles(_N_ANGLES[quick])
+
+
+def _circuits(quick: bool):
+    """A batch whose unique-angle set is exactly ``_angles(quick)``."""
+    from repro.circuits import Circuit
+
+    angles = _angles(quick)
+    circuits = []
+    k = 0
+    for i in range(_N_CIRCUITS[quick]):
+        c = Circuit(2, name=f"bench{i}")
+        c.h(0)
+        for _ in range(4):
+            c.rz(angles[k % len(angles)], 0)
+            c.cx(0, 1)
+            k += 1
+        c.h(1)
+        circuits.append(c)
+    return circuits
+
+
+def _compile(circuits, quick: bool, cache, **kwargs):
+    from repro.pipeline import compile_batch
+
+    before = cache.stats()
+    batch = compile_batch(
+        circuits, workflow="gridsynth", eps=_EPS[quick], cache=cache,
+        optimization_level=_OPT_LEVEL, **kwargs,
+    )
+    after = cache.stats()
+    # Deltas, not lifetime counters: entries reusing a primed cache
+    # (warm/memory) report what *this* compile did.
+    extra = {
+        "rotations": sum(r.n_rotations for r in batch),
+        "l1_hits": after.hits - before.hits,
+        "computes": after.computes - before.computes,
+    }
+    if after.store_attached:
+        extra["l2_hits"] = (
+            after.l2_hits + after.l2_fallback_hits
+            - before.l2_hits - before.l2_fallback_hits
+        )
+        extra["l2_misses"] = after.l2_misses - before.l2_misses
+    return extra
+
+
+def _params(quick: bool, **overrides):
+    params = {
+        "n_circuits": _N_CIRCUITS[quick],
+        "n_angles": _N_ANGLES[quick],
+        "eps": _EPS[quick],
+        "optimization_level": _OPT_LEVEL,
+        "workflow": "gridsynth",
+    }
+    params.update(overrides)
+    return params
+
+
+def _cold_serial_spec(quick: bool) -> BenchSpec:
+    def setup():
+        from repro.pipeline import SynthesisCache
+
+        circuits = _circuits(quick)
+
+        def run():
+            return _compile(circuits, quick, SynthesisCache(),
+                            max_workers=1)
+
+        return run
+
+    return BenchSpec(
+        name="compile_batch/cold/serial",
+        params=_params(quick, mode="serial"),
+        setup=setup,
+    )
+
+
+def _cold_thread_spec(quick: bool) -> BenchSpec:
+    n = _POOL_WORKERS[quick]
+
+    def setup():
+        from repro.pipeline import SynthesisCache
+
+        circuits = _circuits(quick)
+
+        def run():
+            return _compile(circuits, quick, SynthesisCache(),
+                            max_workers=n)
+
+        return run
+
+    return BenchSpec(
+        name=f"compile_batch/cold/thread-{n}",
+        params=_params(quick, mode="thread", pool_width=n),
+        setup=setup,
+    )
+
+
+def _cold_process_spec(quick: bool) -> BenchSpec:
+    n = _POOL_WORKERS[quick]
+
+    def setup():
+        from repro.pipeline import SynthesisCache
+
+        circuits = _circuits(quick)
+
+        def run():
+            # A fresh store directory per repeat keeps the pool cold:
+            # the timing covers fork + synthesis + segment publish.
+            tmp = tempfile.mkdtemp(prefix="repro-bench-store-")
+            try:
+                return _compile(circuits, quick, SynthesisCache(),
+                                workers=n, cache_dir=tmp)
+            finally:
+                shutil.rmtree(tmp, ignore_errors=True)
+
+        return run
+
+    return BenchSpec(
+        name=f"compile_batch/cold/process-{n}",
+        params=_params(quick, mode="process", pool_width=n),
+        setup=setup,
+    )
+
+
+def _warm_memory_spec(quick: bool) -> BenchSpec:
+    def setup():
+        from repro.pipeline import SynthesisCache
+
+        circuits = _circuits(quick)
+        cache = SynthesisCache()
+        _compile(circuits, quick, cache, max_workers=1)  # prime L1
+
+        def run():
+            return _compile(circuits, quick, cache, max_workers=1)
+
+        return run
+
+    return BenchSpec(
+        name="compile_batch/warm/memory",
+        params=_params(quick, mode="warm-l1"),
+        setup=setup,
+    )
+
+
+def _cold_start_spec(quick: bool) -> BenchSpec:
+    def setup():
+        from repro.pipeline import DiskSynthesisStore, SynthesisCache
+        from repro.pipeline.warm import warm_rz_catalog
+
+        circuits = _circuits(quick)
+        tmp = tempfile.mkdtemp(prefix="repro-bench-warmseg-")
+        warm_rz_catalog(tmp, n_angles=_N_ANGLES[quick],
+                        eps_grid=(_EPS[quick],), workers=1)
+
+        def run():
+            # Fresh LRU + fresh store handle = a brand-new compiler
+            # process; only the precompiled segments are warm.
+            cache = SynthesisCache(store=DiskSynthesisStore(tmp))
+            return _compile(circuits, quick, cache, max_workers=1)
+
+        return run
+
+    return BenchSpec(
+        name="compile_batch/cold_start/warm_segments",
+        params=_params(quick, mode="cold-start"),
+        setup=setup,
+    )
+
+
+def specs(quick: bool) -> list[BenchSpec]:
+    return [
+        _cold_serial_spec(quick),
+        _cold_thread_spec(quick),
+        _cold_process_spec(quick),
+        _warm_memory_spec(quick),
+        _cold_start_spec(quick),
+    ]
+
+
+def finalize(results: list[BenchResult]) -> None:
+    from repro.pipeline import default_num_processes
+
+    by_prefix = {}
+    for r in results:
+        head = "/".join(r.name.split("/")[:2])
+        by_prefix[head] = r
+    thread = next((r for r in results
+                   if r.name.startswith("compile_batch/cold/thread-")), None)
+    process = next((r for r in results
+                    if r.name.startswith("compile_batch/cold/process-")), None)
+    if thread is not None and process is not None:
+        process.extra["host_cpus"] = default_num_processes()
+        if process.median_s > 0:
+            process.extra["speedup_vs_thread"] = round(
+                thread.median_s / process.median_s, 3
+            )
+    warm = by_prefix.get("compile_batch/warm")
+    cold_start = by_prefix.get("compile_batch/cold_start")
+    if warm is not None and cold_start is not None and warm.median_s > 0:
+        cold_start.extra["slowdown_vs_warm_memory"] = round(
+            cold_start.median_s / warm.median_s, 3
+        )

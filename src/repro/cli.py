@@ -6,6 +6,7 @@ synth-rz       Synthesize one Rz(theta) rotation with gridsynth.
 synth-u3       Synthesize an arbitrary unitary (three Euler angles) with trasyn.
 compile        Compile an OpenQASM 2.0 file through a synthesis workflow.
 compile-batch  Compile many OpenQASM files in parallel with a shared cache.
+warm-cache     Precompile a dense Rz catalog into a cross-process store.
 verify         Check a circuit's structural/basis/connectivity invariants.
 schedule       ASAP/ALAP timed schedule, idle accounting, and predicted ESP.
 simulate       Noisy fidelity evaluation through a simulation backend.
@@ -66,20 +67,42 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(argv)
 
 
-def _load_cache(path: str | None):
-    """Open (or create) the synthesis cache backing a compile command."""
+def _load_cache(path: str | None, cache_dir: str | None = None):
+    """Open (or create) the synthesis cache backing a compile command.
+
+    ``path`` is the legacy single-file JSON persistence; ``cache_dir``
+    attaches the cross-process segment store as the L2 tier.
+    """
     import os
 
     from repro.pipeline import SynthesisCache
 
+    cache = None
     if path and os.path.exists(path):
         try:
-            return SynthesisCache.load(path)
+            cache = SynthesisCache.load(path)
         except (OSError, ValueError, KeyError, TypeError) as exc:
             # A corrupt or incompatible cache only costs recomputation.
             print(f"warning: ignoring unreadable cache {path}: {exc}",
                   file=sys.stderr)
-    return SynthesisCache()
+    if cache is None:
+        cache = SynthesisCache()
+    if cache_dir:
+        from repro.pipeline import DiskSynthesisStore
+
+        cache.attach_store(DiskSynthesisStore(cache_dir))
+    return cache
+
+
+def _report_store(cache) -> None:
+    """Print the L2 tier's contribution after a compile command."""
+    if cache.store is None:
+        return
+    stats = cache.stats()
+    print(f"disk store            : {stats.l2_hits} exact + "
+          f"{stats.l2_fallback_hits} stricter-band hits, "
+          f"{stats.l2_misses} misses")
+    cache.store.flush()
 
 
 def _parse_level(value: str) -> int | str:
@@ -103,7 +126,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
     with open(args.input) as f:
         circuit = from_qasm(f.read())
-    cache = _load_cache(args.cache_file)
+    cache = _load_cache(args.cache_file, args.cache_dir)
     target = _parse_target_arg(args.target)
     result = compile_circuit(
         circuit, workflow=args.workflow, eps=args.eps, cache=cache,
@@ -135,6 +158,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     print(f"circuit depth         : {depth(out)}")
     print(f"Clifford count        : {clifford_count(out)}")
     print(f"synthesis error bound : {result.total_synthesis_error:.3e}")
+    _report_store(cache)
     if args.output:
         from repro.analysis.atomic_io import atomic_write_text
 
@@ -157,11 +181,16 @@ def _cmd_compile_batch(args: argparse.Namespace) -> int:
         if not circuit.name:
             circuit.name = path
         circuits.append(circuit)
-    cache = _load_cache(args.cache_file)
+    from repro.pipeline.warm import parse_workers_arg
+
+    cache = _load_cache(args.cache_file, args.cache_dir)
     target = _parse_target_arg(args.target)
+    workers = (
+        parse_workers_arg(args.workers) if args.workers is not None else None
+    )
     batch = compile_batch(
         circuits, workflow=args.workflow, eps=args.eps, cache=cache,
-        seed=args.seed, max_workers=args.jobs,
+        seed=args.seed, max_workers=args.jobs, workers=workers,
         optimization_level=args.optimization_level,
         target=target, layout=args.layout, objective=args.objective,
         eps_budget=args.eps_budget, validate=args.validate,
@@ -184,6 +213,11 @@ def _cmd_compile_batch(args: argparse.Namespace) -> int:
         print(f"total swaps       : {total_swaps}")
     print(f"total T count     : {sum(r.t_count for r in batch)}")
     print(f"cache hits/misses : {stats.hits}/{stats.misses}")
+    if cache.store is not None:
+        print(f"disk store        : {stats.l2_hits} exact + "
+              f"{stats.l2_fallback_hits} stricter-band hits, "
+              f"{stats.l2_misses} misses")
+        cache.store.flush()
     print(f"wall time         : {batch.wall_time:.3f}s")
     if args.output_dir:
         import os
@@ -204,6 +238,19 @@ def _cmd_compile_batch(args: argparse.Namespace) -> int:
     if args.cache_file:
         cache.save(args.cache_file)
     return 0
+
+
+def _cmd_warm_cache(args: argparse.Namespace) -> int:
+    from repro.pipeline.warm import main as warm_main
+
+    argv = ["--cache-dir", args.cache_dir]
+    if args.angles is not None:
+        argv.extend(["--angles", str(args.angles)])
+    for eps in args.eps or ():
+        argv.extend(["--eps", str(eps)])
+    if args.workers is not None:
+        argv.extend(["--workers", args.workers])
+    return warm_main(argv)
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -387,6 +434,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None)
     p.add_argument("--cache-file", default=None,
                    help="JSON synthesis cache to reuse and update")
+    p.add_argument("--cache-dir", default=None,
+                   help="cross-process synthesis store directory to attach "
+                        "as the L2 tier (created if missing)")
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser(
@@ -420,11 +470,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None,
                    help="worker threads (default: one per circuit, "
                         "capped at CPU count)")
+    p.add_argument("--workers", default=None, metavar="N|auto",
+                   help="compile on a true process pool instead of threads: "
+                        "a process count or 'auto' (scheduler-affinity CPU "
+                        "count); results are byte-identical to serial")
     p.add_argument("--cache-file", default=None,
                    help="JSON synthesis cache to reuse and update")
+    p.add_argument("--cache-dir", default=None,
+                   help="cross-process synthesis store directory shared by "
+                        "all workers as the L2 tier (created if missing)")
     p.add_argument("--output-dir", default=None,
                    help="write each compiled circuit as QASM here")
     p.set_defaults(func=_cmd_compile_batch)
+
+    p = sub.add_parser(
+        "warm-cache",
+        help="precompile a dense Rz catalog into a cross-process store",
+    )
+    p.add_argument("--cache-dir", required=True,
+                   help="store directory to create or extend")
+    p.add_argument("--angles", type=int, default=None,
+                   help="angle-grid density over one turn (default 64; "
+                        "pi/4 multiples are dropped)")
+    p.add_argument("--eps", type=float, action="append", default=None,
+                   help="epsilon grid point, repeatable (default 1e-2 and "
+                        "1e-3; each is snapped to its band floor)")
+    p.add_argument("--workers", default=None, metavar="N|auto",
+                   help="precompiler processes (default: auto)")
+    p.set_defaults(func=_cmd_warm_cache)
 
     p = sub.add_parser(
         "verify",
@@ -517,7 +590,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the standing perf harness (writes BENCH_<area>.json)",
     )
     p.add_argument("--area",
-                   choices=("routing", "synthesis", "sim", "passes", "all"),
+                   choices=("routing", "synthesis", "sim", "passes",
+                            "cache", "all"),
                    default="all")
     p.add_argument("--quick", action="store_true",
                    help="smoke mode: small sizes, one unwarmed repeat")

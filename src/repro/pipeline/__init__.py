@@ -13,9 +13,15 @@ compiler service:
 * :func:`preset_pipeline` — the paper's optimization levels 0-3 plus
   the DAG-pass level 4, for both target IRs as ready-made pipelines,
 * :class:`SynthesisCache` — a thread-safe LRU of synthesized rotations
-  with JSON persistence,
+  with JSON persistence; attach a :class:`DiskSynthesisStore`
+  (:mod:`repro.pipeline.store`) and it becomes the L1 of a two-tier,
+  cross-process hierarchy with epsilon-band reuse,
 * :func:`compile_circuit` / :func:`compile_batch` — the end-to-end
-  transpile→synthesize flow, parallel over circuits.
+  transpile→synthesize flow, parallel over circuits on threads or
+  (``workers='process'``) a true process pool sharing the disk store,
+* :mod:`repro.pipeline.warm` — the offline Rz catalog precompiler
+  (``python -m repro.pipeline.warm`` / CLI ``warm-cache``) that ships
+  warm segments for cold starts.
 
 Every entry point takes ``validate="off"|"structural"|"full"``, which
 runs the :mod:`repro.analysis` contract checkers between passes and on
@@ -29,15 +35,26 @@ from repro.pipeline.batch import (
     SynthesizedCircuit,
     compile_batch,
     compile_circuit,
+    default_num_processes,
     map_parallel,
+    resolve_workers,
     rng_for_key,
     synthesize_lowered,
 )
 from repro.pipeline.cache import (
+    EPS_BANDS_PER_DECADE,
     CacheStats,
     SynthesisCache,
+    band_eps,
+    bucket_eps,
+    eps_band,
     key_rz,
     key_u3,
+    stricter_keys,
+)
+from repro.pipeline.store import (
+    DiskSynthesisStore,
+    StoreStats,
 )
 from repro.pipeline.passes import (
     CancelInversePairs,
@@ -74,7 +91,16 @@ __all__ = [
     "BASES",
     "BatchResult",
     "CacheStats",
+    "DiskSynthesisStore",
+    "EPS_BANDS_PER_DECADE",
+    "StoreStats",
+    "band_eps",
     "best_preset_lowering",
+    "bucket_eps",
+    "default_num_processes",
+    "eps_band",
+    "resolve_workers",
+    "stricter_keys",
     "CancelInversePairs",
     "CancelInverses",
     "CommuteRotations",

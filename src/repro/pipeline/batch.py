@@ -5,13 +5,15 @@ Figure 3(a) as one call: lower through a preset :class:`PassManager`
 (or the best-of-grid search of Section 3.4), then replace every
 nontrivial rotation with a Clifford+T word via the shared
 :class:`SynthesisCache`.  :func:`compile_batch` runs many circuits
-through it on a ``concurrent.futures`` thread pool.
+through it on a ``concurrent.futures`` thread pool — or, with
+``workers='process'``, on a true process pool whose workers share the
+on-disk segment store (``cache_dir=``) for cross-process reuse.
 
 Determinism: each rotation's synthesis RNG is derived from
 ``(seed, cache key)`` rather than shared across the walk, so results do
-not depend on gate order, circuit order, cache warmth, or worker-thread
-scheduling — a cold serial run, a warm run, and a parallel batch all
-produce byte-identical circuits.
+not depend on gate order, circuit order, cache warmth, or worker
+scheduling — a cold serial run, a warm run, a thread-pool batch, and a
+process-pool batch all produce byte-identical circuits.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -33,7 +35,7 @@ from repro.circuits import (
     t_depth,
 )
 from repro.circuits.circuit import Gate
-from repro.pipeline.cache import SynthesisCache, key_rz, key_u3
+from repro.pipeline.cache import SynthesisCache, bucket_eps, key_rz, key_u3
 from repro.pipeline.passes import PassManager
 from repro.pipeline.presets import (
     best_preset_lowering,
@@ -49,6 +51,32 @@ DEFAULT_EPS = 0.007  # the paper's RQ3 per-rotation threshold
 #: 3.4 criterion), shortest timed schedule, or highest predicted
 #: success probability under the target's calibration.
 OBJECTIVES = ("count", "depth", "esp")
+
+
+def default_num_processes() -> int:
+    """Worker-pool size for CPU-bound compilation on this host.
+
+    The ``default_num_processes`` idiom from qiskit's parallel
+    defaults: the CPUs this process may actually run on (its scheduler
+    affinity, which cgroup/container limits shrink) rather than the
+    machine's raw core count, overridable with the
+    ``REPRO_NUM_PROCESSES`` environment variable.
+    """
+    env = os.environ.get("REPRO_NUM_PROCESSES")
+    if env:
+        try:
+            n = int(env)
+        except ValueError as exc:
+            raise ValueError(
+                f"REPRO_NUM_PROCESSES must be an integer, got {env!r}"
+            ) from exc
+        if n < 1:
+            raise ValueError("REPRO_NUM_PROCESSES must be >= 1")
+        return n
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without affinity (macOS, Windows)
+        return max(1, os.cpu_count() or 1)
 
 
 def map_parallel(fn, items: Sequence, max_workers: int | None = None) -> list:
@@ -179,6 +207,13 @@ def synthesize_lowered(
     nontrivial rotation in flat gate order — the consumption side of
     :func:`repro.synthesis.allocate_eps_budget` (trivial-angle
     rotations synthesize exactly and consume no slice).
+
+    Every effective threshold is snapped down to its log-spaced band
+    floor (:func:`repro.pipeline.cache.bucket_eps`) before both the
+    cache key and the synthesis call, so keys are shared across nearby
+    requests and a cached word always satisfies the band it is keyed
+    under.  Bucketing only tightens a threshold, so error bounds and
+    budget sums still hold.
     """
     from repro.synthesis import trasyn
     from repro.synthesis.gridsynth import gridsynth_rz
@@ -208,7 +243,7 @@ def synthesize_lowered(
                 append_sequence(out, trivial_u3_sequence(g).gates, q)
                 continue
             n_rot += 1
-            eps_g = next_eps()
+            eps_g = bucket_eps(next_eps())
             key = key_u3(*g.params, eps_g)
             target = g.matrix()
             seq = cache.get_or(
@@ -227,7 +262,7 @@ def synthesize_lowered(
                 append_sequence(out, t_power_tokens(j), q)
                 continue
             n_rot += 1
-            eps_g = next_eps()
+            eps_g = bucket_eps(next_eps())
             key = key_rz(theta, eps_g)
             seq = cache.get_or(key, lambda: gridsynth_rz(theta, eps_g))
             total_err += seq.error
@@ -540,6 +575,69 @@ class BatchResult:
         return "\n".join(lines)
 
 
+# -- process-pool worker plumbing -----------------------------------------
+# One compile context per worker process, installed by the pool
+# initializer: a private L1 cache over the shared on-disk L2 (when a
+# cache_dir is given) plus the pickled compile kwargs.  Per-key RNG
+# derivation makes every worker's output independent of which process
+# computes what, so the pool is byte-identical to a serial run.
+_WORKER_CTX: dict = {}
+
+
+def _pool_worker_init(cache_dir: str | None, maxsize, kwargs: dict) -> None:
+    store = None
+    if cache_dir is not None:
+        from repro.pipeline.store import DiskSynthesisStore
+
+        store = DiskSynthesisStore(cache_dir)
+    _WORKER_CTX["cache"] = SynthesisCache(maxsize=maxsize, store=store)
+    _WORKER_CTX["kwargs"] = kwargs
+
+
+def _pool_compile_job(circuit: Circuit):
+    cache: SynthesisCache = _WORKER_CTX["cache"]
+    before = cache.stats()
+    result = compile_circuit(
+        circuit, cache=cache, **_WORKER_CTX["kwargs"]
+    )
+    if cache.store is not None:
+        # Publish this job's fresh synthesis results so other workers'
+        # *future* store opens see them; snapshot reads keep the
+        # current batch deterministic regardless.
+        cache.store.flush()
+    after = cache.stats()
+    delta = {
+        "hits": after.hits - before.hits,
+        "misses": after.misses - before.misses,
+        "l2_hits": after.l2_hits - before.l2_hits,
+        "l2_fallback_hits": after.l2_fallback_hits
+        - before.l2_fallback_hits,
+        "l2_misses": after.l2_misses - before.l2_misses,
+    }
+    return result, delta
+
+
+def resolve_workers(workers) -> int | None:
+    """Normalize a ``workers`` spec to a process count (None = threads).
+
+    ``None``/``'thread'`` selects the thread-pool path; ``'process'``
+    a process pool sized by :func:`default_num_processes`; an integer
+    ``N >= 1`` a pool of exactly N worker processes.
+    """
+    if workers is None or workers == "thread":
+        return None
+    if workers == "process":
+        return default_num_processes()
+    if isinstance(workers, int) and not isinstance(workers, bool):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return workers
+    raise ValueError(
+        f"workers must be None, 'thread', 'process', or an int >= 1, "
+        f"got {workers!r}"
+    )
+
+
 def compile_batch(
     circuits: Sequence[Circuit],
     workflow: str = "trasyn",
@@ -555,31 +653,116 @@ def compile_batch(
     objective: str = "count",
     eps_budget: float | None = None,
     validate: str = "off",
+    workers: int | str | None = None,
+    cache_dir: str | os.PathLike | None = None,
 ) -> BatchResult:
     """Compile many circuits concurrently with a shared synthesis cache.
 
-    ``max_workers=1`` (or a single circuit) runs serially; otherwise a
-    thread pool of ``max_workers`` (default: one per circuit, capped at
-    CPU count) compiles circuits concurrently.  All workers share one
-    thread-safe cache, and per-key RNG derivation makes the output
-    independent of scheduling: the batch result is gate-for-gate
-    identical to compiling each circuit serially.
+    Two fan-out paths:
+
+    * **Threads** (default, ``workers=None``): ``max_workers=1`` (or a
+      single circuit) runs serially, otherwise a thread pool of
+      ``max_workers`` (default: one per circuit, capped at CPU count)
+      shares one thread-safe cache.  Gridsynth/trasyn are pure-Python
+      and CPU-bound, so the GIL caps this path at roughly one core of
+      cache-miss throughput — it wins on warm caches, where hits
+      dominate and threads avoid pickling.
+    * **Processes** (``workers='process'`` or ``workers=N``): a
+      ``ProcessPoolExecutor`` compiles circuits in true parallel, one
+      private L1 cache per worker over the shared on-disk store named
+      by ``cache_dir`` (each worker publishes its fresh results as
+      atomic segments).  ``'process'`` sizes the pool with
+      :func:`default_num_processes`.  This is the path for cold,
+      synthesis-heavy batches.
+
+    Either way, per-key RNG derivation keeps the output independent of
+    scheduling: thread, process, and serial runs are gate-for-gate
+    identical (given the same store snapshot, when one is used).
+
+    ``cache_dir`` attaches a :class:`repro.pipeline.store.
+    DiskSynthesisStore` under whichever path runs — thread workers
+    share it through the one cache, process workers each open it — and
+    new results are flushed to it before returning.
     """
+    n_processes = resolve_workers(workers)
+    store = None
+    if cache_dir is not None:
+        from repro.pipeline.store import DiskSynthesisStore
+
+        store = DiskSynthesisStore(cache_dir)
     if cache is None:
-        cache = SynthesisCache()
+        cache = SynthesisCache(store=store)
+    elif store is not None:
+        cache.attach_store(store)
+    if cache_dir is None and cache.store is not None:
+        # A store attached to the caller's cache serves the process
+        # path too: workers re-open it by its directory.
+        cache_dir = getattr(cache.store, "root", None)
     start = time.monotonic()
 
-    def job(circuit: Circuit) -> SynthesizedCircuit:
-        return compile_circuit(
-            circuit, workflow=workflow, eps=eps, cache=cache, seed=seed,
-            optimization_level=optimization_level, commutation=commutation,
-            pipeline=pipeline, target=target, layout=layout,
-            objective=objective, eps_budget=eps_budget, validate=validate,
+    if n_processes is not None and len(circuits) > 1:
+        results = _compile_batch_processes(
+            circuits, n_processes, cache, cache_dir,
+            dict(
+                workflow=workflow, eps=eps, seed=seed,
+                optimization_level=optimization_level,
+                commutation=commutation, pipeline=pipeline, target=target,
+                layout=layout, objective=objective, eps_budget=eps_budget,
+                validate=validate,
+            ),
         )
+    else:
+        def job(circuit: Circuit) -> SynthesizedCircuit:
+            return compile_circuit(
+                circuit, workflow=workflow, eps=eps, cache=cache, seed=seed,
+                optimization_level=optimization_level,
+                commutation=commutation, pipeline=pipeline, target=target,
+                layout=layout, objective=objective, eps_budget=eps_budget,
+                validate=validate,
+            )
 
-    results = map_parallel(job, circuits, max_workers)
+        serial = 1 if n_processes is not None else max_workers
+        results = map_parallel(job, circuits, serial)
+    if cache.store is not None:
+        cache.store.flush()
     return BatchResult(
         results=results,
         wall_time=time.monotonic() - start,
         cache=cache,
     )
+
+
+def _compile_batch_processes(
+    circuits: Sequence[Circuit],
+    n_processes: int,
+    cache: SynthesisCache,
+    cache_dir,
+    kwargs: dict,
+) -> list[SynthesizedCircuit]:
+    """Fan a batch out over a ``ProcessPoolExecutor`` (see compile_batch)."""
+    import pickle
+
+    try:
+        pickle.dumps(kwargs)
+    except Exception as exc:
+        raise ValueError(
+            "compile_batch(workers=...) must ship its arguments to worker "
+            f"processes, but they do not pickle: {exc!r}; pass picklable "
+            "arguments or use the thread path (workers=None)"
+        ) from exc
+    cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+    with ProcessPoolExecutor(
+        max_workers=min(n_processes, len(circuits)),
+        initializer=_pool_worker_init,
+        initargs=(cache_dir, cache.maxsize, kwargs),
+    ) as pool:
+        outcomes = list(pool.map(_pool_compile_job, circuits))
+    results = []
+    for result, delta in outcomes:
+        results.append(result)
+        cache.absorb_counts(**delta)
+    if cache.store is not None:
+        # Pick up the segments the workers just published so this
+        # process' next batch starts warm.
+        cache.store.refresh()
+    return results

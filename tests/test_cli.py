@@ -190,6 +190,31 @@ class TestAtomicOutputs:
         ]
 
 
+class TestCompileCacheDir:
+    def test_compile_attaches_store(self, qasm_file, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        argv = ["compile", str(qasm_file), "--workflow", "gridsynth",
+                "--eps", "0.05", "--cache-dir", str(store_dir)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        line = _field(out, "disk store")
+        assert line.endswith("2 misses")  # cold: both rotations computed
+        assert main(argv) == 0  # fresh process, warm segments
+        out2 = capsys.readouterr().out
+        assert _field(out2, "disk store").startswith("2 exact")
+
+
+class TestWarmCache:
+    def test_warm_cache_command(self, tmp_path, capsys):
+        store_dir = tmp_path / "wc"
+        rc = main(["warm-cache", "--cache-dir", str(store_dir),
+                   "--angles", "12", "--eps", "0.05", "--workers", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "warmed 8 of 8" in out
+        assert (store_dir / "index.json").exists()
+
+
 class TestCompileBatch:
     def _write_fixtures(self, tmp_path, n):
         paths = []
@@ -230,6 +255,38 @@ class TestCompileBatch:
         hits, misses = _field(out2, "cache hits/misses").split("/")
         assert int(misses) == 0
         assert int(hits) > 0
+
+    def test_batch_process_workers_with_store(self, tmp_path, capsys):
+        paths = self._write_fixtures(tmp_path, 3)
+        store_dir = tmp_path / "store"
+        rc = main([
+            "compile-batch", *paths, "--workflow", "gridsynth",
+            "--eps", "0.05", "--workers", "2",
+            "--cache-dir", str(store_dir),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert int(_field(out, "circuits compiled")) == 3
+        exact = _field(out, "disk store").partition(" exact")[0]
+        assert int(exact) == 0  # cold store on the first run
+        # Workers published their results as segments.
+        assert list((store_dir / "segments").glob("seg-*.json"))
+
+        # A second serial run over the same store is served from it.
+        rc = main([
+            "compile-batch", *paths, "--workflow", "gridsynth",
+            "--eps", "0.05", "--cache-dir", str(store_dir),
+        ])
+        out2 = capsys.readouterr().out
+        assert rc == 0
+        line = _field(out2, "disk store")
+        assert int(line.split(" exact")[0]) > 0
+        assert "0 misses" in line
+
+    def test_batch_rejects_bad_workers(self, tmp_path, capsys):
+        paths = self._write_fixtures(tmp_path, 2)
+        with pytest.raises(SystemExit):
+            main(["compile-batch", *paths, "--workers", "lots"])
 
     def test_batch_serial_matches_parallel(self, tmp_path, capsys):
         paths = self._write_fixtures(tmp_path, 2)
