@@ -3,7 +3,7 @@
 Two halves, per the roadmap's service-grade correctness push:
 
 * Runtime IR checkers (:func:`verify_circuit`, :func:`verify_dag`,
-  :func:`check_basis`, :func:`check_connectivity`,
+  :func:`verify_table`, :func:`check_basis`, :func:`check_connectivity`,
   :func:`check_schedule`) and the :class:`ContractChecker` that
   ``PassManager(validate=...)`` drives after every pass.
 * A stdlib-:mod:`ast` project linter (``python -m repro.analysis.lint``)
@@ -33,6 +33,7 @@ from repro.analysis.verify import (
     unitaries_equivalent,
     verify_circuit,
     verify_dag,
+    verify_table,
 )
 
 __all__ = [
@@ -54,4 +55,5 @@ __all__ = [
     "verify_circuit",
     "verify_dag",
     "verify_compiled",
+    "verify_table",
 ]

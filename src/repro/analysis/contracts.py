@@ -47,6 +47,7 @@ from repro.analysis.verify import (
     unitaries_equivalent,
     verify_circuit,
     verify_dag,
+    verify_table,
     UNITARY_CHECK_MAX_QUBITS,
 )
 from repro.circuits import Circuit, CircuitDAG
@@ -141,6 +142,20 @@ class ContractChecker:
             return
         try:
             verify_dag(dag)
+        except VerificationError as exc:
+            raise exc.with_pass(p.name) from None
+
+    def check_table(self, p, table) -> None:
+        """Verify a columnar pass's mutated :class:`DAGTable`.
+
+        The columnar twin of :meth:`check_dag`: called between a table
+        kernel and ``to_circuit`` so corrupted columns are caught — and
+        attributed to the pass — pre-linearization.
+        """
+        if not self.full:
+            return
+        try:
+            verify_table(table)
         except VerificationError as exc:
             raise exc.with_pass(p.name) from None
 

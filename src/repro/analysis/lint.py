@@ -25,6 +25,12 @@ enforces the invariants PRs 1-6 established by hand and review alone:
     A module-level mutable container mutated from more than one
     function needs a ``threading.Lock``/``RLock`` somewhere in the
     module — the pipeline's worker threads share module state.
+``columnar-discipline``
+    No per-node DAG traversal (``.topological()``/``.nodes()``) inside
+    ``src/repro/optimizers/`` outside functions named ``*_reference``:
+    hot pass code must go through the columnar
+    :class:`repro.circuits.dag_table.DAGTable` kernels; the per-node
+    loops survive only as the byte-identical reference oracles.
 
 Suppression: append ``# repro-lint: disable=<rule>[,<rule>...]`` (or
 ``disable=all``) to the offending line.  A committed baseline file
@@ -68,6 +74,10 @@ RULES: dict[str, str] = {
     "lock-discipline": (
         "module-level mutable container mutated from multiple "
         "functions without a threading.Lock in the module"
+    ),
+    "columnar-discipline": (
+        "per-node DAG traversal in repro.optimizers outside a "
+        "*_reference function; use the columnar DAGTable kernels"
     ),
 }
 
@@ -335,12 +345,52 @@ def _check_lock_discipline(tree: ast.AST, path: str) -> list[Finding]:
     return out
 
 
+#: Per-node traversal surface of :class:`CircuitDAG` that hot pass
+#: code must not touch (the columnar kernels replace it).
+_PER_NODE_CALLS = frozenset({"topological", "nodes"})
+
+
+def _check_columnar_discipline(tree: ast.AST, path: str) -> list[Finding]:
+    norm = path.replace(os.sep, "/")
+    if "repro/optimizers/" not in norm:
+        return []
+    out = []
+
+    def scan(node: ast.AST, in_reference: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Helpers nested inside a reference oracle inherit its
+                # exemption.
+                scan(child, in_reference
+                     or child.name.endswith("_reference"))
+                continue
+            if (
+                not in_reference
+                and isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in _PER_NODE_CALLS
+            ):
+                out.append(Finding(
+                    path, child.lineno, child.col_offset,
+                    "columnar-discipline",
+                    f"per-node DAG traversal .{child.func.attr}() in the "
+                    "optimizers package; hot pass code must use the "
+                    "columnar DAGTable kernels (per-node loops are "
+                    "reserved for *_reference oracles)",
+                ))
+            scan(child, in_reference)
+
+    scan(tree, False)
+    return out
+
+
 _RULE_CHECKS = {
     "rng-discipline": _check_rng,
     "bare-assert": _check_asserts,
     "atomic-write": _check_atomic_writes,
     "mutable-default": _check_mutable_defaults,
     "lock-discipline": _check_lock_discipline,
+    "columnar-discipline": _check_columnar_discipline,
 }
 
 

@@ -1,7 +1,8 @@
 """Structural and target-aware verification of the circuit IR.
 
 Machine-checked invariants for every compilation stage: the structural
-checkers (:func:`verify_circuit`, :func:`verify_dag`) validate what any
+checkers (:func:`verify_circuit`, :func:`verify_dag`,
+:func:`verify_table`) validate what any
 well-formed circuit must satisfy — qubit indices in range, known gate
 names with matching arities, finite parameters, wire-consistent acyclic
 DAG edges — while the target-aware checkers (:func:`check_basis`,
@@ -280,6 +281,124 @@ def verify_dag(dag: CircuitDAG) -> None:
             contract="structural",
             node=f"node {stuck[0]}" if stuck else None,
         )
+
+
+def verify_table(table) -> None:
+    """Structural verification of a columnar :class:`DAGTable`.
+
+    The struct-of-arrays twin of :func:`verify_dag`, run by
+    ``PassManager(validate="full")`` on the columnar path between a
+    table kernel and linearization.  Validates the per-gate invariants
+    plus the column invariants every vectorized kernel relies on: the
+    alive count matches the mask, dead rows are never linked, each
+    wire is a consistent doubly linked chain from ``first`` to ``last``
+    visiting exactly the alive rows on that qubit, and ``pos`` strictly
+    increases along every wire (which bounds every edge, so the graph
+    is acyclic).  Raises :class:`VerificationError` (contract
+    ``"structural"``).
+    """
+    from repro.circuits.dag_table import BOUNDARY as TBOUNDARY
+
+    if table.n_qubits < 1:
+        raise VerificationError(
+            f"table has {table.n_qubits} qubits", contract="structural"
+        )
+    alive_ids = np.nonzero(table.alive)[0]
+    if alive_ids.shape[0] != len(table):
+        raise VerificationError(
+            f"alive mask marks {alive_ids.shape[0]} rows but the table "
+            f"counts {len(table)}",
+            contract="structural",
+        )
+    alive = set(alive_ids.tolist())
+    links: dict[int, dict[str, dict[int, int]]] = {}
+    for i in alive_ids.tolist():
+        gate = table.gate(i)
+        where = f"row {i}: {describe_gate(i, gate)[6:]}"
+        _check_gate(gate, table.n_qubits, where)
+        preds = {int(table.q0[i]): int(table.pred0[i])}
+        succs = {int(table.q0[i]): int(table.succ0[i])}
+        if int(table.q1[i]) >= 0:
+            preds[int(table.q1[i])] = int(table.pred1[i])
+            succs[int(table.q1[i])] = int(table.succ1[i])
+        if set(preds) != set(gate.qubits):
+            raise VerificationError(
+                f"wire columns cover qubits {sorted(preds)} but the gate "
+                f"acts on {sorted(set(gate.qubits))}",
+                contract="structural",
+                node=where,
+            )
+        links[i] = {"preds": preds, "succs": succs}
+    for i, tables in links.items():
+        where = f"row {i}"
+        for kind, other_kind in (("preds", "succs"), ("succs", "preds")):
+            for q, other in tables[kind].items():
+                if other == TBOUNDARY:
+                    continue
+                if other not in alive:
+                    raise VerificationError(
+                        f"{kind}[{q}] points at dead or missing row {other}",
+                        contract="structural",
+                        node=where,
+                    )
+                if links[other][other_kind].get(q) != i:
+                    raise VerificationError(
+                        f"wire {q} link to row {other} is not mirrored "
+                        f"({kind} edge without its reverse)",
+                        contract="structural",
+                        node=where,
+                    )
+    q0 = table.q0
+    q1 = table.q1
+    pos = table.pos
+    for q in range(table.n_qubits):
+        expected = {
+            int(i)
+            for i in alive_ids.tolist()
+            if int(q0[i]) == q or int(q1[i]) == q
+        }
+        seen: list[int] = []
+        i = int(table.first[q])
+        prev_pos = -math.inf
+        while i != TBOUNDARY:
+            if i not in alive:
+                raise VerificationError(
+                    f"wire {q} chain reaches dead or missing row {i}",
+                    contract="structural",
+                )
+            if float(pos[i]) <= prev_pos:
+                raise VerificationError(
+                    f"wire {q} pos is not strictly increasing at row {i} "
+                    f"({pos[i]!r} after {prev_pos!r})",
+                    contract="structural",
+                    node=f"row {i}",
+                )
+            prev_pos = float(pos[i])
+            seen.append(i)
+            if len(seen) > len(expected):
+                raise VerificationError(
+                    f"wire {q} chain cycles or visits foreign rows "
+                    f"(walked {seen[-4:]} beyond the {len(expected)} "
+                    f"gates on this wire)",
+                    contract="structural",
+                    node=f"row {i}",
+                )
+            i = links[i]["succs"][q]
+        if set(seen) != expected:
+            missing = sorted(expected - set(seen))
+            extra = sorted(set(seen) - expected)
+            raise VerificationError(
+                f"wire {q} chain mismatch: missing rows {missing}, "
+                f"foreign rows {extra}",
+                contract="structural",
+            )
+        last = seen[-1] if seen else TBOUNDARY
+        if int(table.last[q]) != last:
+            raise VerificationError(
+                f"wire {q} last is {int(table.last[q])}, chain ends at "
+                f"{last}",
+                contract="structural",
+            )
 
 
 def resolve_basis(basis: str | Iterable[str]) -> frozenset[str]:

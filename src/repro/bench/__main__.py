@@ -63,18 +63,47 @@ def build_parser() -> argparse.ArgumentParser:
             f"before flagging (default: {DEFAULT_COMPARE_TOLERANCE})"
         ),
     )
+    parser.add_argument(
+        "--fail-area", action="append", default=None, metavar="AREA",
+        choices=AREAS,
+        help=(
+            "gate hard on this area: exit 2 only when one of its "
+            "entries slows past --fail-ratio (or goes missing); other "
+            "areas then merely warn; repeatable.  Without this flag "
+            "every compared area gates at the recorded-spread "
+            "threshold (legacy behavior)."
+        ),
+    )
+    parser.add_argument(
+        "--fail-ratio", type=float, default=1.3,
+        help=(
+            "fresh/committed median ratio beyond which a --fail-area "
+            "entry fails the run (default: 1.3)"
+        ),
+    )
     return parser
 
 
 def _run_compare(args: argparse.Namespace) -> int:
-    """``--compare`` mode: fresh run per committed report, diff, flag."""
+    """``--compare`` mode: fresh run per committed report, diff, flag.
+
+    Without ``--fail-area`` every spread-threshold regression is fatal
+    (legacy behavior).  With it, only the named areas gate the exit
+    code — and at the coarser ``--fail-ratio`` median multiple, which
+    tolerates shared-runner noise the per-entry spread cannot — while
+    regressions elsewhere print loudly but stay advisory.
+    """
+    fail_areas = set(args.fail_area or ())
+    gated = bool(fail_areas)
     regressed = False
+    failed = False
     for path in args.compare:
         with open(path, encoding="utf-8") as fh:
             committed = json.load(fh)
         validate_report(committed)
         area = committed["area"]
         quick = bool(committed["quick"])
+        hard = area in fail_areas
         print(f"[bench] compare {path}: area={area} quick={quick}")
         fresh = run_area(
             area,
@@ -91,8 +120,14 @@ def _run_compare(args: argparse.Namespace) -> int:
             if row["fresh_median_s"] is None:
                 print(f"[bench]   {row['name']}: MISSING from fresh run")
                 regressed = True
+                failed = failed or hard
                 continue
-            flag = "REGRESSED" if row["regressed"] else "ok"
+            fails = hard and row["ratio"] > args.fail_ratio
+            flag = "ok"
+            if fails:
+                flag = f"FAILED (> {args.fail_ratio}x)"
+            elif row["regressed"]:
+                flag = "REGRESSED"
             print(
                 f"[bench]   {row['name']}: committed "
                 f"{row['committed_median_s']:.4f}s -> fresh "
@@ -100,6 +135,22 @@ def _run_compare(args: argparse.Namespace) -> int:
                 f"({row['ratio']:.2f}x) {flag}"
             )
             regressed = regressed or row["regressed"]
+            failed = failed or fails
+    if gated:
+        if failed:
+            print(
+                f"[bench] gated area regression beyond {args.fail_ratio}x "
+                f"(areas: {', '.join(sorted(fail_areas))})"
+            )
+            return 2
+        if regressed:
+            print(
+                "[bench] regressions beyond recorded spread in ungated "
+                "areas (advisory only)"
+            )
+        else:
+            print("[bench] no regressions beyond recorded spread")
+        return 0
     if regressed:
         print(
             "[bench] regression beyond recorded spread "

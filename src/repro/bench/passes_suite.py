@@ -1,104 +1,181 @@
-"""Optimizer-pass benchmarks: DAG phase folding at parity width.
+"""Optimizer-pass benchmarks: columnar kernels vs reference loops.
 
-Phase folding's cost is dominated by the parity bookkeeping of the CX
-network — wide, CX-heavy circuits grow parity terms toward the variable
-count.  The benchmark pairs the shipped bit-matrix pass
-(:func:`repro.optimizers.dag_passes.fold_phases_dag`) with its
-set-based reference formulation on the same circuit; each entry times
-DAG build + fold (the pass as used) and records the fold-only seconds
-in ``extra`` so :func:`finalize` can derive the accumulation speedup.
+Every DAG pass — cancel_inverses, merge_rotations, fold_phases,
+collect_two_qubit_blocks — plus the full ``optimize_dag`` fixpoint is
+benchmarked end-to-end as ``optimize_circuit`` drives it: IR build,
+kernel, linearize.  Each columnar
+:class:`~repro.circuits.dag_table.DAGTable` entry is paired with the
+per-node ``*_reference`` loop on :class:`CircuitDAG` over the same
+mixed workload, and :func:`finalize` records the pass-only
+``speedup_vs_reference`` on the columnar entry.  The
+``dag/optimize_fixpoint`` pair is the headline: the incremental
+dirty-wire driver vs the rescan-everything reference fixpoint.
 """
 
 from __future__ import annotations
 
 import random
-import time
 
 from repro.bench.harness import BenchResult, BenchSpec
 
 
-def _parity_heavy_circuit(n_qubits: int, n_gates: int, seed: int):
-    """CX-heavy Clifford+T stream with sparse tracking-breaking gates."""
+def _optimizer_workload(n_qubits: int, n_gates: int, seed: int):
+    """Mixed stream exercising every DAG pass: rotations to merge,
+    self-inverse runs to cancel, and a CX network to fold across."""
     from repro.circuits.circuit import Circuit
 
     rng = random.Random(seed)
     c = Circuit(n_qubits)
     for _ in range(n_gates):
         r = rng.random()
-        if r < 0.30:
+        if r < 0.15:
+            c.append(
+                rng.choice(["rz", "rx", "ry"]),
+                rng.randrange(n_qubits),
+                (rng.uniform(-3.0, 3.0),),
+            )
+        elif r < 0.35:
             c.append(rng.choice(["t", "s", "tdg"]), rng.randrange(n_qubits))
-        elif r < 0.32:
-            c.append("h", rng.randrange(n_qubits))
+        elif r < 0.45:
+            c.append(rng.choice(["h", "x", "z"]), rng.randrange(n_qubits))
         else:
             a, b = rng.sample(range(n_qubits), 2)
             c.append("cx", (a, b))
     return c
 
 
-def _fold_spec(
-    name: str, n_qubits: int, n_gates: int, reference: bool
-) -> BenchSpec:
-    def setup():
+def _pass_runner(pass_name: str, reference: bool):
+    """Build the timed closure factory for one pass/engine pairing."""
+
+    def make(circuit):
         from repro.circuits.dag import CircuitDAG
+        from repro.circuits.dag_table import DAGTable
+        from repro.optimizers.columnar import (
+            cancel_inverses_table,
+            collect_two_qubit_blocks_table,
+            fold_phases_table,
+            merge_rotations_table,
+            optimize_table,
+        )
         from repro.optimizers.dag_passes import (
-            fold_phases_dag,
+            cancel_inverses_reference,
+            collect_two_qubit_blocks_reference,
             fold_phases_dag_reference,
+            merge_rotations_reference,
+            optimize_dag_reference,
         )
 
-        circuit = _parity_heavy_circuit(n_qubits, n_gates, seed=17)
-        fold = fold_phases_dag_reference if reference else fold_phases_dag
+        ref_fns = {
+            "cancel_inverses": cancel_inverses_reference,
+            "merge_rotations": merge_rotations_reference,
+            "fold_phases": fold_phases_dag_reference,
+            "collect_blocks": collect_two_qubit_blocks_reference,
+            "optimize_fixpoint": optimize_dag_reference,
+        }
+        table_fns = {
+            "cancel_inverses": cancel_inverses_table,
+            "merge_rotations": merge_rotations_table,
+            "fold_phases": fold_phases_table,
+            "collect_blocks": collect_two_qubit_blocks_table,
+            "optimize_fixpoint": optimize_table,
+        }
 
-        def run():
-            # Folding mutates the DAG, so each repeat rebuilds it; the
-            # fold-only time is recorded separately for finalize().
-            dag = CircuitDAG.from_circuit(circuit)
-            t0 = time.perf_counter()
-            folded = fold(dag)
-            return {
-                "fold_s": time.perf_counter() - t0,
-                "gates_folded": folded,
-            }
+        def _count(result):
+            if pass_name == "collect_blocks":
+                return {"blocks": len(result)}
+            if pass_name == "optimize_fixpoint":
+                return {"removed": result.removed, "rounds": result.rounds}
+            if isinstance(result, tuple):  # (removed, touched_wires)
+                return {"removed": result[0]}
+            return {"removed": result}
+
+        if reference:
+            fn = ref_fns[pass_name]
+
+            def run():
+                # End-to-end as optimize_circuit drives it: IR build,
+                # pass, linearize.  Mutating passes force a rebuild per
+                # repeat either way.
+                dag = CircuitDAG.from_circuit(circuit)
+                result = fn(dag)
+                dag.to_circuit()
+                return _count(result)
+
+        else:
+            fn = table_fns[pass_name]
+
+            def run():
+                table = DAGTable.from_circuit(circuit)
+                result = fn(table)
+                table.to_circuit()
+                return _count(result)
 
         return run
 
+    return make
+
+
+def _pass_spec(
+    pass_name: str, n_qubits: int, n_gates: int, reference: bool
+) -> BenchSpec:
+    make = _pass_runner(pass_name, reference)
+
+    def setup():
+        circuit = _optimizer_workload(n_qubits, n_gates, seed=23)
+        return make(circuit)
+
+    suffix = "/reference" if reference else ""
     return BenchSpec(
-        name=name,
+        name=f"dag/{pass_name}/{n_qubits}q{suffix}",
         params={
             "n_qubits": n_qubits,
             "n_gates": n_gates,
             "reference": reference,
-            "seed": 17,
+            "seed": 23,
         },
         setup=setup,
     )
 
 
+#: Every columnar/reference DAG-pass pairing benchmarked.
+_PASS_NAMES = (
+    "cancel_inverses",
+    "merge_rotations",
+    "fold_phases",
+    "collect_blocks",
+    "optimize_fixpoint",
+)
+
+
 def specs(quick: bool) -> list[BenchSpec]:
-    if quick:
-        return [
-            _fold_spec("dag/fold_phases/24q", 24, 800, reference=False),
-            _fold_spec(
-                "dag/fold_phases/24q/reference", 24, 800, reference=True
-            ),
-        ]
-    return [
-        _fold_spec("dag/fold_phases/96q", 96, 8000, reference=False),
-        _fold_spec(
-            "dag/fold_phases/96q/reference", 96, 8000, reference=True
-        ),
-    ]
+    out = []
+    sizes = ((24, 800),) if quick else ((24, 8000), (96, 8000))
+    for pass_name in _PASS_NAMES:
+        for n_qubits, n_gates in sizes:
+            out.append(
+                _pass_spec(pass_name, n_qubits, n_gates, reference=False)
+            )
+            out.append(
+                _pass_spec(pass_name, n_qubits, n_gates, reference=True)
+            )
+    return out
 
 
 def finalize(results: list[BenchResult]) -> None:
-    """Derive the parity-accumulation speedup from the paired entries."""
+    """Derive each pair's columnar-vs-reference speedup.
+
+    Pairs ``<name>`` with ``<name>/reference`` and divides the run
+    medians — each spec's ``run()`` is exactly the end-to-end pass, so
+    ``median_s`` is the pass time and far more repeat-noise-robust
+    than any single-repeat extra would be — recording
+    ``speedup_vs_reference`` on the columnar entry.
+    """
     by_name = {r.name: r for r in results}
     for name, result in by_name.items():
         ref = by_name.get(f"{name}/reference")
         if ref is None:
             continue
-        fold_s = result.extra.get("fold_s")
-        ref_fold_s = ref.extra.get("fold_s")
-        if fold_s and ref_fold_s:
+        if result.median_s and ref.median_s:
             result.extra["speedup_vs_reference"] = round(
-                ref_fold_s / fold_s, 2
+                ref.median_s / result.median_s, 2
             )

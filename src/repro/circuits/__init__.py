@@ -2,6 +2,7 @@
 
 from repro.circuits.circuit import Circuit, Gate, is_idle_marker
 from repro.circuits.dag import CircuitDAG, DAGNode
+from repro.circuits.dag_table import GATE_NAMES, OPCODE, DAGTable
 from repro.circuits.drawing import draw
 from repro.circuits.metrics import (
     clifford_count,
@@ -20,7 +21,10 @@ __all__ = [
     "Circuit",
     "CircuitDAG",
     "DAGNode",
+    "DAGTable",
+    "GATE_NAMES",
     "Gate",
+    "OPCODE",
     "clifford_count",
     "critical_path",
     "depth",

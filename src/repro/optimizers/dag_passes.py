@@ -20,17 +20,40 @@ many gates on independent wires sit between them in the flat list.
   RQ5 comparison.
 
 Every pass preserves the circuit unitary up to global phase.
+
+Each public pass dispatches between two engines producing
+**byte-identical** output (same removed gates, same fused params, same
+minted ids):
+
+* ``"columnar"`` (default) — the vectorized kernels of
+  :mod:`repro.optimizers.columnar` over a :class:`DAGTable` imported
+  from the caller's DAG and written back after the rewrite.
+* ``"reference"`` — the original per-node loops, retained as the
+  readable specification under ``*_reference`` names.
+
+Select with :func:`set_dag_engine` or the ``REPRO_DAG_ENGINE``
+environment variable.  Circuits containing gates outside the fixed
+16-opcode IR vocabulary fall back to the reference path automatically.
 """
 
 from __future__ import annotations
 
 import math
-
-import numpy as np
+import os
+import warnings
 
 from repro.circuits.circuit import ROTATION_GATES, Circuit, Gate
 from repro.circuits.dag import BOUNDARY, CircuitDAG, DAGNode
+from repro.circuits.dag_table import DAGTable
 from repro.linalg import zyz_angles
+from repro.optimizers.columnar import (
+    OptimizeStats,
+    cancel_inverses_table,
+    collect_two_qubit_blocks_table,
+    fold_phases_table,
+    merge_rotations_table,
+    optimize_table,
+)
 from repro.optimizers.phase_folding import _PHASE_ANGLE, _emit_phase
 
 _SELF_INVERSE = frozenset({"h", "x", "y", "z", "cx", "cz", "swap"})
@@ -64,6 +87,42 @@ def _is_inverse_pair(a: Gate, b: Gate) -> bool:
     return False
 
 
+# ---------------------------------------------------------------------------
+# engine selection
+# ---------------------------------------------------------------------------
+
+_ENGINES = ("columnar", "reference")
+_engine = os.environ.get("REPRO_DAG_ENGINE", "columnar")
+if _engine not in _ENGINES:
+    _engine = "columnar"
+
+
+def dag_engine() -> str:
+    """The active pass engine: ``"columnar"`` or ``"reference"``."""
+    return _engine
+
+
+def set_dag_engine(name: str) -> str:
+    """Select the pass engine; returns the previous selection."""
+    global _engine
+    if name not in _ENGINES:
+        raise ValueError(
+            f"unknown DAG engine {name!r}; expected one of {_ENGINES}"
+        )
+    previous = _engine
+    _engine = name
+    return previous
+
+
+def _import_table(dag: CircuitDAG) -> DAGTable | None:
+    """Columnar import of ``dag``, or None when it must stay on the
+    reference path (exotic gates outside the interned vocabulary)."""
+    try:
+        return DAGTable.from_dag(dag)
+    except ValueError:
+        return None
+
+
 def cancel_inverses(dag: CircuitDAG) -> int:
     """Remove wire-adjacent inverse pairs (and bare identity gates).
 
@@ -73,6 +132,17 @@ def cancel_inverses(dag: CircuitDAG) -> int:
     like ``H X X H`` collapse fully in one call.  Returns the number of
     gates removed.
     """
+    if _engine == "columnar":
+        table = _import_table(dag)
+        if table is not None:
+            removed, _ = cancel_inverses_table(table)
+            table.write_back(dag)
+            return removed
+    return cancel_inverses_reference(dag)
+
+
+def cancel_inverses_reference(dag: CircuitDAG) -> int:
+    """Per-node reference implementation of :func:`cancel_inverses`."""
     removed = 0
     work = [n.id for n in dag.topological()]
     while work:
@@ -119,6 +189,17 @@ def merge_rotations(dag: CircuitDAG) -> int:
     pair that is the identity (up to global phase) disappears entirely.
     Returns the number of gates eliminated.
     """
+    if _engine == "columnar":
+        table = _import_table(dag)
+        if table is not None:
+            removed, _ = merge_rotations_table(table)
+            table.write_back(dag)
+            return removed
+    return merge_rotations_reference(dag)
+
+
+def merge_rotations_reference(dag: CircuitDAG) -> int:
+    """Per-node reference implementation of :func:`merge_rotations`."""
     removed = 0
     work = [n.id for n in dag.topological()]
     while work:
@@ -150,10 +231,6 @@ def merge_rotations(dag: CircuitDAG) -> int:
     return removed
 
 
-#: Gate names :func:`fold_phases_dag` tracks without refreshing wires.
-_FOLD_TRANSPARENT = frozenset({"rz", "cx", "x", "i"})
-
-
 def fold_phases_dag(dag: CircuitDAG) -> int:
     """Parity-tracked phase folding over the DAG (commutation-aware).
 
@@ -165,79 +242,29 @@ def fold_phases_dag(dag: CircuitDAG) -> int:
     own wires — phases keep folding across independent wires.  Returns
     the number of gates eliminated (net of re-emission).
 
-    Parity terms live in a ``(n_qubits, words)`` uint64 bit-matrix —
-    one bit per parity variable, one row per wire — so the CX update is
-    a vectorized row XOR and the fold key is the row's raw bytes,
-    instead of per-gate frozenset unions whose cost grows with the
-    parity width.  :func:`fold_phases_dag_reference` retains the
-    set-based formulation; both fold exactly the same phases.
+    The columnar engine tracks parities as arbitrary-width python
+    integer bitmasks over flat column snapshots
+    (:func:`~repro.optimizers.columnar.fold_phases_table`);
+    :func:`fold_phases_dag_reference` is the set-based specification.
+    Both fold exactly the same phases and mint identical ids.
     """
-    n = dag.n_qubits
-    nodes = list(dag.topological())
-    # Every tracking-breaking gate mints one fresh variable per wire it
-    # touches; sizing the bit-matrix needs the total upfront.
-    n_vars = n + sum(
-        len(node.gate.qubits)
-        for node in nodes
-        if node.gate.name not in _PHASE_ANGLE
-        and node.gate.name not in _FOLD_TRANSPARENT
-    )
-    words = max(1, (n_vars + 63) >> 6)
-    parity = np.zeros((n, words), dtype=np.uint64)
-    for q in range(n):
-        parity[q, q >> 6] = np.uint64(1) << np.uint64(q & 63)
-    negated = np.zeros(n, dtype=bool)
-    next_var = n
-    # parity row bytes -> [slot node id, accumulated angle, negated, qubit]
-    slots: dict[bytes, list] = {}
-    before = len(dag)
-
-    for node in nodes:
-        name = node.gate.name
-        if name in _PHASE_ANGLE or name == "rz":
-            q = node.gate.qubits[0]
-            theta = _PHASE_ANGLE.get(name)
-            if theta is None:
-                theta = node.gate.params[0] if node.gate.params else 0.0
-            if negated[q]:
-                theta = -theta
-            key = parity[q].tobytes()
-            slot = slots.get(key)
-            if slot is None:
-                slots[key] = [node.id, theta, bool(negated[q]), q]
-            else:
-                slot[1] += theta
-                dag.remove_node(node.id)
-            continue
-        if name == "cx":
-            c, t = node.gate.qubits
-            parity[t] ^= parity[c]
-            negated[t] ^= negated[c]
-            continue
-        if name == "x":
-            q = node.gate.qubits[0]
-            negated[q] = not negated[q]
-            continue
-        if name == "i":
-            continue
-        for q in node.gate.qubits:
-            parity[q] = 0
-            parity[q, next_var >> 6] = np.uint64(1) << np.uint64(next_var & 63)
-            negated[q] = False
-            next_var += 1
-
-    for node_id, angle, negated_at_slot, q in slots.values():
-        emitted = -angle if negated_at_slot else angle
-        dag.substitute_1q(node_id, _emit_phase(emitted, q))
-    return before - len(dag)
+    if _engine == "columnar":
+        table = _import_table(dag)
+        if table is not None:
+            before = len(dag)
+            fold_phases_table(table)
+            table.write_back(dag)
+            return before - len(dag)
+    return fold_phases_dag_reference(dag)
 
 
 def fold_phases_dag_reference(dag: CircuitDAG) -> int:
     """Set-based reference formulation of :func:`fold_phases_dag`.
 
-    Folds exactly the same phases as the bit-matrix pass (parity-set
-    equality is bitmask equality under the shared variable numbering);
-    kept for equivalence testing and as the readable specification.
+    Folds exactly the same phases as the columnar bitmask kernel
+    (parity-set equality is bitmask equality under the shared variable
+    numbering); kept for equivalence testing and as the readable
+    specification.
     """
     n = dag.n_qubits
     next_var = n
@@ -298,6 +325,18 @@ def collect_two_qubit_blocks(
     partitioned by the greedy scan of
     :func:`repro.optimizers.resynth.partition_two_qubit_blocks`.
     """
+    if _engine == "columnar":
+        table = _import_table(dag)
+        if table is not None:
+            return collect_two_qubit_blocks_table(table)
+    return collect_two_qubit_blocks_reference(dag)
+
+
+def collect_two_qubit_blocks_reference(
+    dag: CircuitDAG,
+) -> list[tuple[tuple[int, int], list[Gate]]]:
+    """Per-node reference implementation of
+    :func:`collect_two_qubit_blocks`."""
     from repro.optimizers.resynth import partition_two_qubit_blocks
 
     pending = {
@@ -336,35 +375,87 @@ def collect_two_qubit_blocks(
     return partition_two_qubit_blocks(reordered)
 
 
-def optimize_dag(dag: CircuitDAG, max_rounds: int = 8) -> int:
+def optimize_dag(dag: CircuitDAG, max_rounds: int = 8) -> OptimizeStats:
     """Run cancel/merge/fold rounds on ``dag`` until a fixpoint.
 
     Each pass exposes work for the next: folding a phase chain to zero
     makes its flanking H·H pair wire-adjacent, cancellation brings
-    rotations together, merging re-exposes inverse pairs.  Returns the
-    total number of gates eliminated.
+    rotations together, merging re-exposes inverse pairs.  Returns an
+    :class:`~repro.optimizers.columnar.OptimizeStats` whose ``removed``
+    counts eliminated gates (``int(stats)`` for the legacy count) and
+    whose ``converged`` flag reports whether a zero-work round was
+    reached; hitting the round cap first warns once via
+    :class:`UserWarning`.
+
+    On the columnar engine the DAG is imported once and the dirty-wire
+    driver (:func:`~repro.optimizers.columnar.optimize_table`) iterates
+    on flat columns, so fixpoint cost is proportional to work done, not
+    DAG size.
     """
+    if _engine == "columnar":
+        table = _import_table(dag)
+        if table is not None:
+            stats = optimize_table(table, max_rounds=max_rounds)
+            table.write_back(dag)
+            return stats
+    return optimize_dag_reference(dag, max_rounds=max_rounds)
+
+
+def optimize_dag_reference(
+    dag: CircuitDAG, max_rounds: int = 8
+) -> OptimizeStats:
+    """Rescan-everything fixpoint over the reference pass loops."""
     removed = 0
+    rounds = 0
+    converged = False
+    per_pass = {"cancel_inverses": 0, "merge_rotations": 0, "fold_phases": 0}
     for _ in range(max_rounds):
-        step = cancel_inverses(dag)
-        step += merge_rotations(dag)
-        step += fold_phases_dag(dag)
+        rounds += 1
+        c = cancel_inverses_reference(dag)
+        m = merge_rotations_reference(dag)
+        f = fold_phases_dag_reference(dag)
+        per_pass["cancel_inverses"] += c
+        per_pass["merge_rotations"] += m
+        per_pass["fold_phases"] += f
+        step = c + m + f
         removed += step
         if step == 0:
+            converged = True
             break
-    return removed
+    if not converged:
+        warnings.warn(
+            f"optimize_dag stopped at the round cap ({max_rounds}) before "
+            "reaching a fixpoint; rerun with a higher max_rounds to finish",
+            UserWarning,
+            stacklevel=3,
+        )
+    return OptimizeStats(
+        removed=removed, rounds=rounds, converged=converged, per_pass=per_pass
+    )
 
 
 def optimize_circuit(circuit: Circuit, max_rounds: int = 8) -> Circuit:
     """The DAG post-synthesis optimizer (unitary preserved up to phase).
 
-    Builds the dependency DAG once, iterates
+    Builds the dependency IR once, iterates
     :func:`cancel_inverses` → :func:`merge_rotations` →
     :func:`fold_phases_dag` to a fixpoint, and linearizes back.  On
     Clifford+T synthesis output this strictly subsumes
     :func:`repro.optimizers.phase_folding.fold_phases`: the same parity
     merges plus the cancellations they unlock.
+
+    The columnar engine skips the node-object DAG entirely
+    (``Circuit`` → :class:`DAGTable` → ``Circuit``); circuits with
+    exotic gates take the reference path.
     """
+    if _engine == "columnar":
+        try:
+            table = DAGTable.from_circuit(circuit)
+        except ValueError:
+            table = None
+        if table is not None:
+            optimize_table(table, max_rounds=max_rounds)
+            return table.to_circuit()
     dag = CircuitDAG.from_circuit(circuit)
-    optimize_dag(dag, max_rounds=max_rounds)
+    optimize_dag_reference(dag, max_rounds=max_rounds)
     return dag.to_circuit()

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.circuits.circuit import Circuit, Gate
 
@@ -101,14 +102,25 @@ def fold_phases(circuit: Circuit) -> Circuit:
 
 
 def _emit_phase(theta: float, q: int) -> list[Gate]:
-    """Minimal gate list for a diagonal phase rotation by ``theta``."""
+    """Minimal gate list for a diagonal phase rotation by ``theta``.
+
+    Memoized on ``(theta, q)``: phase folding re-emits every slot on
+    every fixpoint round, and the words repeat heavily (a handful of
+    Clifford+T angle classes per wire).  Gates are immutable, so the
+    cached word is returned as a fresh list over shared Gate values.
+    """
+    return list(_emit_phase_cached(theta, q))
+
+
+@lru_cache(maxsize=65536)
+def _emit_phase_cached(theta: float, q: int) -> tuple[Gate, ...]:
     theta = math.remainder(theta, 2 * math.pi)
     if abs(theta) < 1e-12:
-        return []
+        return ()
     steps = theta / _QUARTER
     if abs(steps - round(steps)) < 1e-9:
         k = round(steps) % 8
         names = {0: [], 1: ["t"], 2: ["s"], 3: ["s", "t"], 4: ["z"],
                  5: ["z", "t"], 6: ["sdg"], 7: ["tdg"]}[k]
-        return [Gate(nm, (q,)) for nm in names]
-    return [Gate("rz", (q,), (theta,))]
+        return tuple(Gate(nm, (q,)) for nm in names)
+    return (Gate("rz", (q,), (theta,)),)

@@ -15,9 +15,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
-from repro.circuits import Circuit, CircuitDAG, rotation_count
+from repro.circuits import Circuit, CircuitDAG, DAGTable, rotation_count
+from repro.optimizers.columnar import (
+    cancel_inverses_table,
+    fold_phases_table,
+    merge_rotations_table,
+    optimize_table,
+)
 from repro.optimizers.dag_passes import (
     cancel_inverses,
+    dag_engine,
     fold_phases_dag,
     merge_rotations,
     optimize_dag,
@@ -289,20 +296,45 @@ class EstimateESP(Pass):
 
 
 class DAGPass(Pass):
-    """A rewrite running natively on the dependency DAG.
+    """A rewrite running natively on the dependency IR.
 
     Subclasses implement :meth:`run_dag` over a
-    :class:`~repro.circuits.CircuitDAG`; the base class handles the
-    Circuit→DAG→Circuit conversion so DAG passes drop into any
-    :class:`PassManager` beside the list-based ones.
+    :class:`~repro.circuits.CircuitDAG` and (optionally)
+    :meth:`run_table` over the columnar
+    :class:`~repro.circuits.DAGTable`; the base class handles the
+    Circuit→IR→Circuit conversion so DAG passes drop into any
+    :class:`PassManager` beside the list-based ones.  When the active
+    engine (:func:`repro.optimizers.dag_passes.dag_engine`) is
+    ``"columnar"`` and the pass implements :meth:`run_table`, the
+    node-object DAG is skipped entirely; circuits with gates outside
+    the interned vocabulary fall back to the DAG path.
     """
 
     name = "dag_pass"
 
+    #: Set by subclasses implementing :meth:`run_table`.
+    has_table_path = False
+
     def run_dag(self, dag: CircuitDAG) -> None:
         raise NotImplementedError
 
+    def run_table(self, table: DAGTable) -> None:
+        raise NotImplementedError
+
+    def _import_table(self, circuit: Circuit) -> DAGTable | None:
+        """The circuit as a table when the columnar path applies."""
+        if not (self.has_table_path and dag_engine() == "columnar"):
+            return None
+        try:
+            return DAGTable.from_circuit(circuit)
+        except ValueError:
+            return None
+
     def run(self, circuit: Circuit) -> Circuit:
+        table = self._import_table(circuit)
+        if table is not None:
+            self.run_table(table)
+            return table.to_circuit()
         dag = CircuitDAG.from_circuit(circuit)
         self.run_dag(dag)
         return dag.to_circuit()
@@ -313,9 +345,13 @@ class CancelInverses(DAGPass):
 
     name = "cancel_inverses"
     ensures = ("unitary_preserving",)
+    has_table_path = True
 
     def run_dag(self, dag: CircuitDAG) -> None:
         cancel_inverses(dag)
+
+    def run_table(self, table: DAGTable) -> None:
+        cancel_inverses_table(table)
 
 
 class MergeRotations(DAGPass):
@@ -323,9 +359,13 @@ class MergeRotations(DAGPass):
 
     name = "merge_rotations"
     ensures = ("unitary_preserving",)
+    has_table_path = True
 
     def run_dag(self, dag: CircuitDAG) -> None:
         merge_rotations(dag)
+
+    def run_table(self, table: DAGTable) -> None:
+        merge_rotations_table(table)
 
 
 class FoldPhases(DAGPass):
@@ -333,27 +373,55 @@ class FoldPhases(DAGPass):
 
     name = "fold_phases"
     ensures = ("unitary_preserving",)
+    has_table_path = True
 
     def run_dag(self, dag: CircuitDAG) -> None:
         fold_phases_dag(dag)
 
+    def run_table(self, table: DAGTable) -> None:
+        fold_phases_table(table)
+
 
 class DagOptimize(DAGPass):
-    """The combined cancel/merge/fold fixpoint loop (level-4 core)."""
+    """The combined cancel/merge/fold fixpoint loop (level-4 core).
+
+    After each run, ``self.stats`` holds the driver's
+    :class:`~repro.optimizers.columnar.OptimizeStats` (rounds taken,
+    convergence, per-pass removals); ``PassManager.run_detailed``
+    surfaces it in the pass's :class:`PassMetrics` ``extra`` dict.
+    """
 
     name = "dag_optimize"
     ensures = ("unitary_preserving",)
+    has_table_path = True
 
     def __init__(self, max_rounds: int = 8):
         self.max_rounds = max_rounds
+        self.stats = None
 
     def run_dag(self, dag: CircuitDAG) -> None:
-        optimize_dag(dag, max_rounds=self.max_rounds)
+        self.stats = optimize_dag(dag, max_rounds=self.max_rounds)
+
+    def run_table(self, table: DAGTable) -> None:
+        self.stats = optimize_table(table, max_rounds=self.max_rounds)
+
+    def metrics_extra(self) -> dict:
+        if self.stats is None:
+            return {}
+        return {
+            "removed": self.stats.removed,
+            "rounds": self.stats.rounds,
+            "converged": self.stats.converged,
+        }
 
 
 @dataclass(frozen=True)
 class PassMetrics:
-    """Timing and size accounting for one pass execution."""
+    """Timing and size accounting for one pass execution.
+
+    ``extra`` carries pass-specific facts (e.g. ``DagOptimize`` reports
+    ``removed``/``rounds``/``converged`` from its fixpoint driver).
+    """
 
     name: str
     wall_time: float
@@ -361,6 +429,7 @@ class PassMetrics:
     gates_out: int
     rotations_in: int
     rotations_out: int
+    extra: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -449,17 +518,26 @@ class PassManager:
             rot_in = rotation_count(work)
             start = time.monotonic()
             if checker.full and isinstance(p, DAGPass):
-                # Run the DAG rewrite under the manager's control so a
+                # Run the IR rewrite under the manager's control so a
                 # corrupted wire is caught (and attributed to the pass)
-                # before linearization crashes on it or hides it.
-                dag = CircuitDAG.from_circuit(work)
-                p.run_dag(dag)
-                checker.check_dag(p, dag)
-                out = dag.to_circuit()
+                # before linearization crashes on it or hides it.  The
+                # columnar engine is verified on its own columns,
+                # pre-linearization, same as DAG rewrites are.
+                table = p._import_table(work)
+                if table is not None:
+                    p.run_table(table)
+                    checker.check_table(p, table)
+                    out = table.to_circuit()
+                else:
+                    dag = CircuitDAG.from_circuit(work)
+                    p.run_dag(dag)
+                    checker.check_dag(p, dag)
+                    out = dag.to_circuit()
             else:
                 out = p.run(work)
             elapsed = time.monotonic() - start
             checker.after_pass(p, work, out)
+            extra = getattr(p, "metrics_extra", None)
             metrics.append(PassMetrics(
                 name=p.name,
                 wall_time=elapsed,
@@ -467,6 +545,7 @@ class PassManager:
                 gates_out=len(out.gates),
                 rotations_in=rot_in,
                 rotations_out=rotation_count(out),
+                extra=extra() if callable(extra) else {},
             ))
             work = out
         checker.final(work)

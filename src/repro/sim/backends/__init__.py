@@ -18,10 +18,14 @@ budget)``; see the README "Simulation backends" section for the rules.
 from __future__ import annotations
 
 from repro.sim.backends.base import (
+    ScheduleCache,
     SimulationResult,
     SimulatorBackend,
+    fused_gate_schedule,
+    gate_schedule,
     is_noisy,
     reference_statevector,
+    schedule_cache,
 )
 from repro.sim.backends.density import DensityMatrixBackend, DensityMatrixResult
 from repro.sim.backends.mps_backend import MPSBackend, MPSResult
@@ -165,11 +169,15 @@ __all__ = [
     "MPSResult",
     "NoiseModel",
     "ProgramCache",
+    "ScheduleCache",
     "SimulationResult",
     "SimulatorBackend",
     "StatevectorTrajectoryBackend",
     "TrajectoryResult",
+    "fused_gate_schedule",
+    "gate_schedule",
     "is_noisy",
     "reference_statevector",
+    "schedule_cache",
     "select_backend",
 ]

@@ -10,7 +10,9 @@ another result, so experiment code never touches engine internals.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 
 import numpy as np
 
@@ -28,9 +30,153 @@ def is_noisy(noise: NoiseModel | None) -> bool:
     return noise is not None and noise.rate > 0.0
 
 
-def gate_schedule(
+def _circuit_key(circuit: Circuit) -> tuple:
+    """Content identity of a gate stream (the ProgramCache discipline)."""
+    return (
+        circuit.n_qubits,
+        tuple((g.name, g.qubits, g.params) for g in circuit.gates),
+    )
+
+
+def _noise_signature(circuit: Circuit, noise: NoiseModel | None):
+    """What fusion actually consumes from a noise model on this circuit.
+
+    Mirrors :func:`repro.sim.program.program_key`: per-gate noisy qubits
+    and rates plus the channel factory's identity, so two model objects
+    behaving identically share cache entries and a model tweak is never
+    masked by object reuse.
+    """
+    if not is_noisy(noise):
+        return None
+    events = tuple(
+        (pos, qubits, noise.rate_for(g))
+        for pos, g in enumerate(circuit.gates)
+        if (qubits := noise.noisy_qubits(g))
+    )
+    return (events, getattr(noise, "kraus", None))
+
+
+def _compute_gate_schedule(
     circuit: Circuit, layered: bool
-) -> list[list[tuple[int, Gate]]]:
+) -> tuple[tuple[tuple[int, Gate], ...], ...]:
+    if not layered:
+        return tuple(((i, g),) for i, g in enumerate(circuit.gates))
+    layers = CircuitDAG.from_circuit(circuit).as_layers()
+    return tuple(
+        tuple((n.id, n.gate) for n in layer) for layer in layers
+    )
+
+
+class ScheduleCache:
+    """Thread-safe LRU of layer schedules and their fused variants.
+
+    The ProgramCache pattern applied one stage earlier: repeated
+    evaluation of the same circuit (objective grids, fidelity sweeps,
+    per-chunk backend calls) skips the ``as_layers()`` front-layer
+    scan — and, for the reference engine paths, the dense
+    fusion re-derivation — by keying on gate-stream content rather
+    than object identity.  Entries are immutable tuple-of-tuples
+    layers, shared read-only by every consumer; gates are immutable, so
+    sharing is safe.  Two threads missing one key may both compute, but
+    the results are identical and the last insert wins.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("schedule cache needs room for one entry")
+        self.maxsize = int(maxsize)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _lookup(self, key: tuple):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            self.misses += 1
+        return None
+
+    def _insert(self, key: tuple, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def layers(self, circuit: Circuit, layered: bool):
+        """The (cached) layer schedule of :func:`gate_schedule`."""
+        key = ("layers", layered, _circuit_key(circuit))
+        entry = self._lookup(key)
+        if entry is None:
+            entry = _compute_gate_schedule(circuit, layered)
+            self._insert(key, entry)
+        return entry
+
+    def fused(
+        self,
+        circuit: Circuit,
+        noise: NoiseModel | None,
+        *,
+        layered: bool,
+        two_qubit: bool = False,
+    ):
+        """The (cached) fused schedule for a circuit + noise behavior."""
+        key = (
+            "fused",
+            layered,
+            two_qubit,
+            _circuit_key(circuit),
+            _noise_signature(circuit, noise),
+        )
+        entry = self._lookup(key)
+        if entry is None:
+            entry = tuple(
+                tuple(layer)
+                for layer in fuse_schedule(
+                    self.layers(circuit, layered), noise,
+                    two_qubit=two_qubit,
+                )
+            )
+            self._insert(key, entry)
+        return entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+
+#: Process-wide default cache: every engine's schedule derivation goes
+#: through it unless a private cache is passed explicitly.
+_GLOBAL_SCHEDULE_CACHE = ScheduleCache()
+
+
+def schedule_cache() -> ScheduleCache:
+    """The process-wide :class:`ScheduleCache`."""
+    return _GLOBAL_SCHEDULE_CACHE
+
+
+def gate_schedule(
+    circuit: Circuit, layered: bool, *, cache: ScheduleCache | None = None
+):
     """The gate stream an engine drives, as layers of ``(position, gate)``.
 
     ``layered=True`` computes the front-layer (ASAP) schedule from the
@@ -42,11 +188,37 @@ def gate_schedule(
     uniform for the same gate under either schedule, so layered and
     sequential runs of one seed produce identical fidelities.
     ``layered=False`` degrades to one gate per layer, in flat order.
+
+    Results are memoized content-keyed in a :class:`ScheduleCache`
+    (the process-wide one unless ``cache`` is given) and returned as
+    immutable tuple-of-tuples layers — treat them as read-only.
     """
-    if not layered:
-        return [[(i, g)] for i, g in enumerate(circuit.gates)]
-    layers = CircuitDAG.from_circuit(circuit).as_layers()
-    return [[(n.id, n.gate) for n in layer] for layer in layers]
+    # Explicit None test: an empty ScheduleCache is falsy via __len__.
+    if cache is None:
+        cache = _GLOBAL_SCHEDULE_CACHE
+    return cache.layers(circuit, layered)
+
+
+def fused_gate_schedule(
+    circuit: Circuit,
+    noise: NoiseModel | None,
+    *,
+    layered: bool,
+    two_qubit: bool = False,
+    cache: ScheduleCache | None = None,
+):
+    """:func:`gate_schedule` + :func:`fuse_schedule`, content-cached.
+
+    One lookup covers both derivations, so repeated evaluation of the
+    same circuit under the same noise behavior (the compile-batch
+    objective loop, fidelity sweeps) skips the front-layer scan *and*
+    the dense operator fusion.
+    """
+    if cache is None:
+        cache = _GLOBAL_SCHEDULE_CACHE
+    return cache.fused(
+        circuit, noise, layered=layered, two_qubit=two_qubit
+    )
 
 
 class Fused1Q:

@@ -50,7 +50,7 @@ from repro.sim.backends.base import (
     _ITEMSIZE,
     SimulationResult,
     SimulatorBackend,
-    fuse_schedule,
+    fused_gate_schedule,
     gate_schedule,
     is_noisy,
     noise_event_layout,
@@ -391,13 +391,16 @@ class StatevectorTrajectoryBackend(SimulatorBackend):
             def run_chunk(rows: np.ndarray) -> np.ndarray:
                 return self._run_chunk_program(program, rows)
         else:
-            # Reference path: schedule and event offsets are still
-            # computed once per run and shared by every chunk/worker.
-            schedule = gate_schedule(circuit, self.layered)
+            # Reference path: schedule and event offsets are shared by
+            # every chunk/worker, and content-cached across runs so a
+            # repeated circuit skips as_layers() + fusion re-derivation.
             if self.fuse:
-                schedule = fuse_schedule(
-                    schedule, noise, two_qubit=self.fuse2q
+                schedule = fused_gate_schedule(
+                    circuit, noise,
+                    layered=self.layered, two_qubit=self.fuse2q,
                 )
+            else:
+                schedule = gate_schedule(circuit, self.layered)
             event_offsets, n_events = noise_event_layout(circuit, noise)
 
             def run_chunk(rows: np.ndarray) -> np.ndarray:

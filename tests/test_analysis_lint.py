@@ -242,3 +242,57 @@ class TestAtomicIo:
         text = path.read_text()
         assert text.endswith("\n")
         assert text.index('"a"') < text.index('"b"')
+
+
+class TestColumnarDiscipline:
+    _PATH = "src/repro/optimizers/foo.py"
+
+    def test_flags_topological_in_hot_code(self):
+        src = (
+            "def cancel(dag):\n"
+            "    return [n for n in dag.topological()]\n"
+        )
+        findings = lint_source(src, self._PATH)
+        assert rules_of(findings) == {"columnar-discipline"}
+        assert ".topological()" in findings[0].message
+
+    def test_flags_nodes_iteration(self):
+        src = (
+            "def scan(dag):\n"
+            "    for n in dag.nodes():\n"
+            "        pass\n"
+        )
+        assert rules_of(lint_source(src, self._PATH)) == {
+            "columnar-discipline"
+        }
+
+    def test_reference_functions_exempt(self):
+        src = (
+            "def cancel_reference(dag):\n"
+            "    return [n for n in dag.topological()]\n"
+        )
+        assert lint_source(src, self._PATH) == []
+
+    def test_nested_in_reference_exempt(self):
+        src = (
+            "def cancel_reference(dag):\n"
+            "    def inner():\n"
+            "        return list(dag.nodes())\n"
+            "    return inner()\n"
+        )
+        assert lint_source(src, self._PATH) == []
+
+    def test_other_packages_exempt(self):
+        src = (
+            "def walk(dag):\n"
+            "    return list(dag.topological())\n"
+        )
+        assert lint_source(src, "src/repro/circuits/dag.py") == []
+
+    def test_suppression_comment_honored(self):
+        src = (
+            "def cancel(dag):\n"
+            "    return list(dag.topological())"
+            "  # repro-lint: disable=columnar-discipline\n"
+        )
+        assert lint_source(src, self._PATH) == []

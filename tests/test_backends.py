@@ -374,3 +374,140 @@ class TestCodeDistanceGuard:
 
         d = SurfaceCodeModel().code_distance(1e-6, 10, 1000)
         assert d % 2 == 1 and 3 <= d <= 99
+
+
+class TestScheduleCache:
+    def _circuit(self):
+        from repro.circuits import Circuit
+
+        c = Circuit(2)
+        c.append("h", 0)
+        c.append("cx", (0, 1))
+        c.append("t", 1)
+        return c
+
+    def test_content_keyed_hit(self):
+        from repro.sim.backends import ScheduleCache, gate_schedule
+
+        cache = ScheduleCache()
+        a = gate_schedule(self._circuit(), True, cache=cache)
+        b = gate_schedule(self._circuit(), True, cache=cache)
+        assert a is b
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "entries": 1, "maxsize": 128,
+        }
+
+    def test_layered_flag_separates_entries(self):
+        from repro.sim.backends import ScheduleCache, gate_schedule
+
+        cache = ScheduleCache()
+        lay = gate_schedule(self._circuit(), True, cache=cache)
+        seq = gate_schedule(self._circuit(), False, cache=cache)
+        assert lay is not seq
+        assert len(seq) == 3  # one gate per layer
+        assert len(cache) == 2
+
+    def test_schedule_matches_uncached_semantics(self):
+        from repro.circuits import CircuitDAG
+        from repro.sim.backends import ScheduleCache, gate_schedule
+
+        c = self._circuit()
+        got = gate_schedule(c, True, cache=ScheduleCache())
+        want = [
+            [(n.id, n.gate) for n in layer]
+            for layer in CircuitDAG.from_circuit(c).as_layers()
+        ]
+        assert [list(layer) for layer in got] == want
+
+    def test_fused_keyed_by_noise_behavior(self):
+        from repro.sim import NoiseModel
+        from repro.sim.backends import ScheduleCache, fused_gate_schedule
+
+        cache = ScheduleCache()
+        c = self._circuit()
+        n1 = NoiseModel(rate=0.01, applies_to=lambda g: True)
+        n2 = NoiseModel(rate=0.01, applies_to=lambda g: True)
+        n3 = NoiseModel(rate=0.02, applies_to=lambda g: True)
+        a = fused_gate_schedule(c, n1, layered=True, cache=cache)
+        b = fused_gate_schedule(c, n2, layered=True, cache=cache)
+        d = fused_gate_schedule(c, n3, layered=True, cache=cache)
+        assert a is b  # same behavior, different model object
+        assert a is not d  # different rate -> different fusion key
+
+    def test_fused_matches_direct_fusion(self):
+        from repro.sim.backends import (
+            ScheduleCache,
+            fused_gate_schedule,
+            gate_schedule,
+        )
+        from repro.sim.backends.base import fuse_schedule
+
+        c = self._circuit()
+        cached = fused_gate_schedule(
+            c, None, layered=True, two_qubit=True, cache=ScheduleCache()
+        )
+        direct = fuse_schedule(
+            gate_schedule(c, True), None, two_qubit=True
+        )
+        flat = [
+            (pos, g.name, g.qubits)
+            for layer in cached for pos, g in layer
+        ]
+        flat_direct = [
+            (pos, g.name, g.qubits)
+            for layer in direct for pos, g in layer
+        ]
+        assert flat == flat_direct
+
+    def test_lru_eviction_and_clear(self):
+        from repro.circuits import Circuit
+        from repro.sim.backends import ScheduleCache, gate_schedule
+
+        cache = ScheduleCache(maxsize=2)
+        for k in range(4):
+            c = Circuit(1)
+            c.append("rz", 0, (float(k),))
+            gate_schedule(c, True, cache=cache)
+        assert len(cache) == 2
+        assert cache.stats()["misses"] == 4
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+
+    def test_global_cache_default(self):
+        from repro.sim.backends import gate_schedule, schedule_cache
+
+        cache = schedule_cache()
+        before = cache.stats()["misses"]
+        c = self._circuit()
+        c.append("rz", 0, (0.12345,))
+        gate_schedule(c, True)
+        assert cache.stats()["misses"] == before + 1
+
+    def test_maxsize_validated(self):
+        from repro.sim.backends import ScheduleCache
+
+        with pytest.raises(ValueError):
+            ScheduleCache(maxsize=0)
+
+    def test_backend_results_unchanged_by_cache(self):
+        from repro.sim import NoiseModel
+        from repro.sim.backends import schedule_cache
+        from repro.sim.backends.statevector import (
+            StatevectorTrajectoryBackend,
+        )
+
+        c = self._circuit()
+        ref = c.statevector()
+        noise = NoiseModel.non_pauli_gates(0.02)
+        kw = dict(trajectories=8, seed=7)
+        first = StatevectorTrajectoryBackend(**kw).run(c, noise)
+        schedule_cache().clear()
+        cold = StatevectorTrajectoryBackend(**kw).run(c, noise)
+        warm = StatevectorTrajectoryBackend(**kw).run(c, noise)
+        assert cold.fidelity(ref) == pytest.approx(
+            first.fidelity(ref), abs=1e-12
+        )
+        assert warm.fidelity(ref) == pytest.approx(
+            cold.fidelity(ref), abs=1e-12
+        )

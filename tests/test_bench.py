@@ -238,3 +238,56 @@ class TestCLI:
         assert rc == 0
         report = json.loads((tmp_path / "BENCH_sim.json").read_text())
         validate_report(report)
+
+
+class TestFailAreaGate:
+    def _tampered_report(self, tmp_path):
+        report = run_area("sim", quick=True, out_dir=str(tmp_path))
+        for entry in report["benchmarks"]:
+            entry["median_s"] = 1e-9
+            entry["min_s"] = 1e-9
+            entry["max_s"] = 1e-9
+        path = tmp_path / "BENCH_sim.json"
+        path.write_text(json.dumps(report))
+        return path
+
+    def test_gated_area_fails_hard(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        path = self._tampered_report(tmp_path)
+        rc = main(["--compare", str(path), "--fail-area", "sim"])
+        assert rc == 2
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_ungated_area_only_warns(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        path = self._tampered_report(tmp_path)
+        rc = main(["--compare", str(path), "--fail-area", "passes"])
+        assert rc == 0
+        assert "advisory" in capsys.readouterr().out
+
+    def test_clean_gated_run_passes(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        report = run_area("sim", quick=True, out_dir=str(tmp_path))
+        path = tmp_path / "BENCH_sim.json"
+        rc = main(["--compare", str(path), "--fail-area", "sim",
+                   "--fail-ratio", "1000"])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_fail_ratio_loosens_gate(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        path = self._tampered_report(tmp_path)
+        # An absurdly loose ratio keeps even the tampered baseline ok.
+        rc = main(["--compare", str(path), "--fail-area", "sim",
+                   "--fail-ratio", "1e12"])
+        assert rc == 0
+
+    def test_unknown_fail_area_rejected(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--compare", "x.json", "--fail-area", "nonsense"])

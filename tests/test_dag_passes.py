@@ -351,3 +351,71 @@ h q[1];
         out = capsys.readouterr().out
         assert rc == 0
         assert "circuit depth" in out
+
+
+class TestEngineEquivalence:
+    """The columnar engine is byte-identical to reference end to end."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_engine(self):
+        from repro.optimizers import dag_engine, set_dag_engine
+
+        previous = dag_engine()
+        yield
+        set_dag_engine(previous)
+
+    @pytest.mark.parametrize("level", [0, 1, 2, 3, 4])
+    def test_presets_identical_across_engines(self, level):
+        from repro.optimizers import set_dag_engine
+
+        for seed in (3, 11, 29):
+            c = _random_circuit(seed, max_qubits=4, max_gates=30)
+            set_dag_engine("columnar")
+            col = transpile(c, basis="rz", optimization_level=level)
+            set_dag_engine("reference")
+            ref = transpile(c, basis="rz", optimization_level=level)
+            assert [
+                (g.name, g.qubits, g.params) for g in col.gates
+            ] == [(g.name, g.qubits, g.params) for g in ref.gates]
+
+    def test_optimize_circuit_identical_across_engines(self):
+        from repro.optimizers import set_dag_engine
+
+        for seed in range(20):
+            c = _random_circuit(seed, max_qubits=5, max_gates=50)
+            set_dag_engine("columnar")
+            col = optimize_circuit(c)
+            set_dag_engine("reference")
+            ref = optimize_circuit(c)
+            assert [
+                (g.name, g.qubits, g.params) for g in col.gates
+            ] == [(g.name, g.qubits, g.params) for g in ref.gates]
+
+    def test_set_dag_engine_rejects_unknown(self):
+        from repro.optimizers import set_dag_engine
+
+        with pytest.raises(ValueError):
+            set_dag_engine("turbo")
+
+    def test_optimize_dag_returns_stats(self):
+        from repro.optimizers import OptimizeStats, optimize_dag
+
+        c = Circuit(2)
+        c.append("h", 0)
+        c.append("h", 0)
+        c.append("cx", (0, 1))
+        stats = optimize_dag(CircuitDAG.from_circuit(c))
+        assert isinstance(stats, OptimizeStats)
+        assert stats.removed == 2 and stats.converged
+
+    def test_dag_optimize_pass_surfaces_stats_in_metrics(self):
+        pm = PassManager([DagOptimize()], validate="full")
+        c = Circuit(2)
+        c.append("h", 0)
+        c.append("h", 0)
+        c.append("cx", (0, 1))
+        res = pm.run_detailed(c)
+        (metrics,) = res.metrics
+        assert metrics.extra["removed"] == 2
+        assert metrics.extra["converged"] is True
+        assert metrics.extra["rounds"] >= 1
