@@ -77,8 +77,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fail-ratio", type=float, default=1.3,
         help=(
-            "fresh/committed median ratio beyond which a --fail-area "
-            "entry fails the run (default: 1.3)"
+            "slowdown multiple beyond which a --fail-area entry fails "
+            "the run (default: 1.3); interpreted per --fail-metric"
+        ),
+    )
+    parser.add_argument(
+        "--fail-metric", choices=("median", "speedup"), default="median",
+        help=(
+            "what --fail-ratio gates on: 'median' compares the fresh "
+            "wall-clock median against the committed one (meaningful "
+            "only on the machine that recorded the baseline); "
+            "'speedup' compares each entry's speedup_vs_reference — "
+            "both sides of that ratio are timed in the same run, so "
+            "absolute machine speed cancels out (use this on CI "
+            "runners; default: median)"
         ),
     )
     return parser
@@ -89,9 +101,13 @@ def _run_compare(args: argparse.Namespace) -> int:
 
     Without ``--fail-area`` every spread-threshold regression is fatal
     (legacy behavior).  With it, only the named areas gate the exit
-    code — and at the coarser ``--fail-ratio`` median multiple, which
-    tolerates shared-runner noise the per-entry spread cannot — while
-    regressions elsewhere print loudly but stay advisory.
+    code — at the coarser ``--fail-ratio`` multiple of the chosen
+    ``--fail-metric`` — while regressions elsewhere print loudly but
+    stay advisory.  The ``speedup`` metric gates on each entry's
+    ``speedup_vs_reference`` dropping past ``fail_ratio`` below the
+    committed value: both sides of that ratio are measured in the same
+    fresh run, so a uniformly slower (or faster) machine cancels out —
+    absolute medians recorded on one machine never fail another.
     """
     fail_areas = set(args.fail_area or ())
     gated = bool(fail_areas)
@@ -122,17 +138,40 @@ def _run_compare(args: argparse.Namespace) -> int:
                 regressed = True
                 failed = failed or hard
                 continue
-            fails = hard and row["ratio"] > args.fail_ratio
+            if args.fail_metric == "speedup":
+                # Only entries carrying a committed speedup gate; their
+                # reference twins are the denominator of that very
+                # ratio, so they are covered implicitly.
+                committed_sp = row["committed_speedup"]
+                fresh_sp = row["fresh_speedup"]
+                fails = (
+                    hard
+                    and committed_sp is not None
+                    and (
+                        fresh_sp is None
+                        or fresh_sp * args.fail_ratio < committed_sp
+                    )
+                )
+            else:
+                fails = hard and row["ratio"] > args.fail_ratio
             flag = "ok"
             if fails:
-                flag = f"FAILED (> {args.fail_ratio}x)"
+                flag = f"FAILED (> {args.fail_ratio}x {args.fail_metric})"
             elif row["regressed"]:
                 flag = "REGRESSED"
+            speedup_note = ""
+            if row["committed_speedup"] is not None:
+                fresh_sp = row["fresh_speedup"]
+                speedup_note = (
+                    f" [speedup {row['committed_speedup']:.2f}x -> "
+                    + (f"{fresh_sp:.2f}x]" if fresh_sp is not None
+                       else "missing]")
+                )
             print(
                 f"[bench]   {row['name']}: committed "
                 f"{row['committed_median_s']:.4f}s -> fresh "
                 f"{row['fresh_median_s']:.4f}s "
-                f"({row['ratio']:.2f}x) {flag}"
+                f"({row['ratio']:.2f}x){speedup_note} {flag}"
             )
             regressed = regressed or row["regressed"]
             failed = failed or fails
@@ -140,6 +179,7 @@ def _run_compare(args: argparse.Namespace) -> int:
         if failed:
             print(
                 f"[bench] gated area regression beyond {args.fail_ratio}x "
+                f"{args.fail_metric} "
                 f"(areas: {', '.join(sorted(fail_areas))})"
             )
             return 2

@@ -196,6 +196,10 @@ def compare_reports(
         {"name", "committed_median_s", "committed_max_s",
          "fresh_median_s",  # None when the benchmark vanished
          "ratio",           # fresh / committed median, None if missing
+         "committed_speedup",  # extra.speedup_vs_reference, None if
+         "fresh_speedup",      # ...absent — the machine-relative
+                               # metric hard gates compare instead of
+                               # cross-machine wall clock
          "regressed"}       # bool; a vanished benchmark regresses
 
     Both reports must cover the same area at the same ``quick`` size,
@@ -226,6 +230,10 @@ def compare_reports(
             "committed_max_s": entry["max_s"],
             "fresh_median_s": None,
             "ratio": None,
+            "committed_speedup": entry.get("extra", {}).get(
+                "speedup_vs_reference"
+            ),
+            "fresh_speedup": None,
             "regressed": True,
         }
         if counterpart is not None:
@@ -236,6 +244,9 @@ def compare_reports(
             row["fresh_median_s"] = fresh_median
             if entry["median_s"] > 0:
                 row["ratio"] = fresh_median / entry["median_s"]
+            row["fresh_speedup"] = counterpart.get("extra", {}).get(
+                "speedup_vs_reference"
+            )
             row["regressed"] = fresh_median > threshold
         rows.append(row)
     return rows

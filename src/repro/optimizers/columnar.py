@@ -12,9 +12,11 @@ candidate set:
 
 * :func:`cancel_inverses_table` — one gather-and-compare finds every
   wire-adjacent inverse pair (self-inverse set, inverse-pair table,
-  symmetric-2q and Rz(a)·Rz(−a) masks); a greedy descending-``pos``
-  sweep kills disjoint pairs, and only the spliced neighbors are
-  re-examined next sweep.
+  symmetric-2q and Rz(a)·Rz(−a) masks); the found heads then seed the
+  reference's exact stack traversal (fresh successor check at pop time,
+  spliced neighbors pushed on top) run over the flat int columns, so
+  newly-formed pairs take precedence over stale snapshot pairs exactly
+  as the reference stack order dictates.
 * :func:`merge_rotations_table` — the rotation-run candidates are found
   vectorized, then each wire's run folds right-to-left with the exact
   scalar :func:`~repro.optimizers.dag_passes._fuse_1q` (pairwise
@@ -166,19 +168,53 @@ def _find_inverse_pairs(
     return a, j
 
 
+def _pair_cancels(table: DAGTable, i: int, s: int) -> bool:
+    """Scalar :func:`~repro.optimizers.dag_passes._is_inverse_pair` on
+    rows already known to be wire-adjacent on every wire of ``i`` (which
+    forces equal qubit sets; CX orientation still needs the q0 check)."""
+    oi = int(table.op[i])
+    os_ = int(table.op[s])
+    if oi == os_:
+        if _SELF_INV[oi]:
+            if oi == _OP_CX:
+                return bool(table.q0[i] == table.q0[s])
+            return True
+        if _AXIS_ROT[oi]:
+            theta = float(table.params[i, 0]) + float(table.params[s, 0])
+            return abs(math.remainder(theta, _TWO_PI)) < _TOL
+        return False
+    return bool(_INV_PARTNER[oi] == os_)
+
+
+def _distinct_sorted(a: int, b: int) -> list[int]:
+    """Non-boundary wire-link ids, deduplicated, ascending (the order
+    :meth:`CircuitDAG.predecessors`/``successors`` returns)."""
+    if b == BOUNDARY or b == a:
+        return [a] if a != BOUNDARY else []
+    if a == BOUNDARY:
+        return [b]
+    return [a, b] if a < b else [b, a]
+
+
 def cancel_inverses_table(
     table: DAGTable, wires: set[int] | None = None
 ) -> tuple[int, set[int]]:
-    """Vectorized adjacent-inverse cancellation (chains die per sweep).
+    """Adjacent-inverse cancellation, byte-identical to the reference.
 
-    Each sweep removes bare identity gates, detects every inverse pair
-    in one vectorized gather, and kills a maximal disjoint subset in
-    descending wire order (latest pair of an overlapping chain first —
-    the reference stack's processing order).  The next sweep re-examines
-    only the spliced predecessors of removed rows, so chains like
-    ``H X X H`` collapse fully.  ``wires`` seeds the first sweep with
-    the rows on those wires only (the dirty-wire fast path of
-    :func:`optimize_table`); ``None`` scans everything.
+    One vectorized gather finds every identity row and inverse-pair
+    head up front; when that scan comes back empty (the common case in
+    dirty-wire fixpoint rounds) the kernel returns without touching the
+    table.  Otherwise the found rows seed the reference pass's exact
+    stack traversal — seeds ordered by the deterministic Kahn rank
+    :meth:`CircuitDAG.topological` uses, each pop re-checking the
+    *current* wire successor, spliced neighbors pushed on top — so a
+    pair newly formed by an earlier removal is consumed before any
+    stale snapshot pair, exactly as the reference stack dictates
+    (chains like ``sdg s s sdg sdg`` keep the same surviving ids).
+    ``wires`` restricts the seed scan to rows on those wires (the
+    dirty-wire fast path of :func:`optimize_table`; sound because a
+    pair absent at the kernel's previous fixpoint can only appear on a
+    wire some later rewrite touched); ``None`` scans everything.
 
     Returns ``(gates_removed, wires_touched)``.
     """
@@ -189,48 +225,59 @@ def cancel_inverses_table(
         cand = np.nonzero(alive)[0]
     else:
         cand = table.ids_on_wires(wires)
-    while cand.size:
-        cand = cand[alive[cand]]
-        if cand.size == 0:
-            break
-        rescan: list[int] = []
-        # Identity gates go unconditionally; their preds rejoin the scan.
-        is_i = table.op[cand] == _OP_I
-        if is_i.any():
-            for i in cand[is_i].tolist():
-                rescan.extend(table.preds_of(i))
-                touched.add(int(table.q0[i]))
-                table.remove(i)
-                removed += 1
-            cand = cand[~is_i]
-            if rescan:
-                cand = np.unique(np.concatenate([
-                    cand, np.asarray(rescan, dtype=np.int64)
-                ]))
-                cand = cand[alive[cand]]
-                rescan = []
-        a, j = _find_inverse_pairs(table, cand)
-        next_cand: list[int] = []
-        if a.size:
-            order = np.argsort(-table.pos[a], kind="stable")
-            a_l, j_l = a.tolist(), j.tolist()
-            q0, q1 = table.q0, table.q1
-            for k in order.tolist():
-                i, s = a_l[k], j_l[k]
-                # A chain-mate killed earlier this sweep invalidates the
-                # pair; the surviving side rejoins via the rescan list.
-                if not (alive[i] and alive[s]):
-                    continue
-                next_cand.extend(table.preds_of(i))
-                touched.add(int(q0[i]))
-                if q1[i] >= 0:
-                    touched.add(int(q1[i]))
-                table.remove(s)
-                table.remove(i)
-                removed += 2
-        if not next_cand:
-            break
-        cand = np.unique(np.asarray(next_cand, dtype=np.int64))
+    if cand.size == 0:
+        return removed, touched
+    ident = cand[table.op[cand] == _OP_I]
+    heads, _ = _find_inverse_pairs(table, cand)
+    if ident.size == 0 and heads.size == 0:
+        return removed, touched
+
+    # Any row whose pair status can change is pushed by the traversal
+    # when the enabling removal happens, so seeding with only the rows
+    # that *currently* act (identities + pair heads) visits the same
+    # action sequence as the reference's full-stack walk.
+    rank = {i: k for k, i in enumerate(table.linear_order())}
+    seeds = set(ident.tolist()) | set(heads.tolist())
+    work = sorted(seeds, key=rank.__getitem__)
+    op, q0, q1 = table.op, table.q0, table.q1
+    p0, p1 = table.pred0, table.pred1
+    s0, s1 = table.succ0, table.succ1
+    while work:
+        i = work.pop()
+        if not alive[i]:
+            continue
+        if op[i] == _OP_I:
+            # Identity rows are 1q: the lone pred rejoins the walk.
+            neighbors = _distinct_sorted(int(p0[i]), BOUNDARY)
+            touched.add(int(q0[i]))
+            table.remove(i)
+            removed += 1
+            work.extend(neighbors)
+            continue
+        if q1[i] >= 0:
+            s = int(s0[i]) if s0[i] == s1[i] else BOUNDARY
+        else:
+            s = int(s0[i])
+        if s == BOUNDARY or not _pair_cancels(table, i, s):
+            continue
+        two = q1[i] >= 0
+        neighbors = _distinct_sorted(
+            int(p0[i]), int(p1[i]) if two else BOUNDARY
+        )
+        neighbors += [
+            x
+            for x in _distinct_sorted(
+                int(s0[s]), int(s1[s]) if q1[s] >= 0 else BOUNDARY
+            )
+            if x != i
+        ]
+        touched.add(int(q0[i]))
+        if two:
+            touched.add(int(q1[i]))
+        table.remove(s)
+        table.remove(i)
+        removed += 2
+        work.extend(n for n in neighbors if alive[n])
     return removed, touched
 
 

@@ -149,9 +149,20 @@ class TestCompareReports:
                 "committed_max_s": committed["benchmarks"][0]["max_s"],
                 "fresh_median_s": 0.12,
                 "ratio": pytest.approx(1.2),
+                "committed_speedup": None,
+                "fresh_speedup": None,
                 "regressed": False,
             }
         ]
+
+    def test_speedup_extras_surfaced(self):
+        committed = _report(medians={"a": 0.10})
+        committed["benchmarks"][0]["extra"]["speedup_vs_reference"] = 5.0
+        fresh = _report(medians={"a": 0.12})
+        fresh["benchmarks"][0]["extra"]["speedup_vs_reference"] = 4.4
+        (row,) = compare_reports(committed, fresh)
+        assert row["committed_speedup"] == 5.0
+        assert row["fresh_speedup"] == 4.4
 
     def test_regression_beyond_spread_flagged(self):
         # Threshold is max(committed max, median) * (1 + tolerance):
@@ -267,13 +278,16 @@ class TestFailAreaGate:
         assert rc == 0
         assert "advisory" in capsys.readouterr().out
 
-    def test_clean_gated_run_passes(self, tmp_path, capsys):
-        from repro.bench.__main__ import main
+    def test_clean_gated_run_passes(self, tmp_path, monkeypatch, capsys):
+        from repro.bench import __main__ as cli
 
         report = run_area("sim", quick=True, out_dir=str(tmp_path))
         path = tmp_path / "BENCH_sim.json"
-        rc = main(["--compare", str(path), "--fail-area", "sim",
-                   "--fail-ratio", "1000"])
+        # Serve the committed report back as the fresh run: identical
+        # timings are regression-free by construction, where a second
+        # real timed run flakes under parallel-test load.
+        monkeypatch.setattr(cli, "run_area", lambda *a, **k: report)
+        rc = cli.main(["--compare", str(path), "--fail-area", "sim"])
         assert rc == 0
         assert "no regressions" in capsys.readouterr().out
 
@@ -291,3 +305,76 @@ class TestFailAreaGate:
 
         with pytest.raises(SystemExit):
             main(["--compare", "x.json", "--fail-area", "nonsense"])
+
+
+class TestSpeedupMetricGate:
+    """--fail-metric speedup gates on the machine-relative ratio, so a
+    uniformly slower runner cannot fail against medians recorded on a
+    faster machine (the fresh runs are stubbed: the gate logic, not the
+    timer, is under test)."""
+
+    def _paired(self, speedup, median):
+        report = _report(
+            area="passes",
+            medians={
+                "dag/x/96q": median,
+                "dag/x/96q/reference": median * speedup,
+            },
+        )
+        for entry in report["benchmarks"]:
+            if entry["name"] == "dag/x/96q":
+                entry["extra"]["speedup_vs_reference"] = speedup
+        return report
+
+    def _gate(self, tmp_path, monkeypatch, committed, fresh, *extra_args):
+        from repro.bench import __main__ as cli
+
+        path = tmp_path / "BENCH_passes.json"
+        path.write_text(json.dumps(committed))
+        monkeypatch.setattr(cli, "run_area", lambda *a, **k: fresh)
+        return cli.main(
+            ["--compare", str(path), "--fail-area", "passes",
+             "--fail-metric", "speedup", *extra_args]
+        )
+
+    def test_slower_machine_same_speedup_passes(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # 4x slower runner: every absolute median blows past any sane
+        # wall-clock multiple, but the relative speedup is intact.
+        rc = self._gate(
+            tmp_path, monkeypatch,
+            self._paired(5.0, 0.1), self._paired(5.0, 0.4),
+        )
+        assert rc == 0
+        assert "FAILED" not in capsys.readouterr().out
+
+    def test_speedup_drop_past_ratio_fails(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # 5.0 -> 3.0 is a 1.67x relative slowdown, past the 1.3x gate.
+        rc = self._gate(
+            tmp_path, monkeypatch,
+            self._paired(5.0, 0.1), self._paired(3.0, 0.1),
+        )
+        assert rc == 2
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_speedup_drop_within_ratio_passes(
+        self, tmp_path, monkeypatch
+    ):
+        # 5.0 -> 4.2 stays within the default 1.3x allowance.
+        rc = self._gate(
+            tmp_path, monkeypatch,
+            self._paired(5.0, 0.1), self._paired(4.2, 0.1),
+        )
+        assert rc == 0
+
+    def test_missing_fresh_speedup_fails(self, tmp_path, monkeypatch):
+        fresh = self._paired(5.0, 0.1)
+        for entry in fresh["benchmarks"]:
+            entry["extra"].pop("speedup_vs_reference", None)
+        rc = self._gate(
+            tmp_path, monkeypatch, self._paired(5.0, 0.1), fresh
+        )
+        assert rc == 2
